@@ -1,0 +1,76 @@
+"""Ablation A1 — the path-centric paradigm's sub-path length knob.
+
+``max_subpath_edges`` is PACE's [4] central design choice: length 1
+degenerates to the edge-centric paradigm (cheap, independence-blind);
+the full path length captures all correlation (precise, most expensive
+to fit).  The ablation sweeps the knob and shows the smooth
+precision/efficiency trade-off the paper describes as "balancing
+efficiency and precision".
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro import RoadNetwork
+from repro.datasets import TrafficSimulator
+from repro.governance.uncertainty import (
+    Histogram,
+    PathCentricModel,
+    wasserstein_distance,
+)
+
+
+def build_workload():
+    network = RoadNetwork.grid(5, 5)
+    simulator = TrafficSimulator(
+        network, sigma_correlated=0.35, sigma_independent=0.1,
+        rng=np.random.default_rng(1))
+    path = network.shortest_path((0, 0), (4, 4))
+    rng = np.random.default_rng(11)
+    trips = []
+    for _ in range(300):
+        edges = network.path_edges(path)
+        times = simulator.sample_edge_times(edges, 480, rng=rng)
+        trips.append((path, times, 480.0))
+    truth = Histogram.from_samples(simulator.sample_path_times(
+        path, 3000, departure_minute=480,
+        rng=np.random.default_rng(5)))
+    return path, trips, truth
+
+
+def run_experiment():
+    path, trips, truth = build_workload()
+    rows = []
+    for max_edges in (1, 2, 4, 8):
+        started = time.perf_counter()
+        model = PathCentricModel(
+            min_support=10, max_subpath_edges=max_edges).fit(trips)
+        fit_seconds = time.perf_counter() - started
+        estimate = model.path_distribution(path, 480)
+        rows.append({
+            "max_subpath_edges": max_edges,
+            "n_subpaths": model.n_subpaths,
+            "std_ratio": estimate.std() / truth.std(),
+            "wasserstein": wasserstein_distance(estimate, truth),
+            "fit_s": fit_seconds,
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="a01")
+def test_a01_pathcentric_ablation(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("A1: precision/efficiency vs sub-path length "
+                "(std_ratio -> 1 is perfect)", rows)
+    # Accuracy improves monotonically with sub-path length ...
+    errors = [abs(1.0 - row["std_ratio"]) for row in rows]
+    assert errors[-1] < errors[0]
+    assert rows[-1]["wasserstein"] < rows[0]["wasserstein"]
+    # ... while fit cost and model size grow.
+    assert rows[-1]["n_subpaths"] > rows[0]["n_subpaths"]
+    # Length 1 is the edge-centric degenerate: it badly underestimates
+    # the spread.
+    assert rows[0]["std_ratio"] < 0.75

@@ -1,0 +1,67 @@
+"""Ablation A2 — ensemble weighting schemes.
+
+The "adaptive selection" claim behind the paper's ensemble strategies:
+an ensemble whose weights come from held-out validation should beat a
+uniform combination whenever the members differ in quality — and never
+lose much when they don't.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.analytics.forecasting import (
+    ARForecaster,
+    DriftForecaster,
+    EnsembleForecaster,
+    NaiveForecaster,
+    SeasonalNaiveForecaster,
+)
+from repro.analytics.metrics import mae
+from repro.datasets import seasonal_series
+
+
+def members():
+    return [
+        NaiveForecaster(),                    # weak on seasonal data
+        DriftForecaster(),                    # weak on seasonal data
+        SeasonalNaiveForecaster(96),          # strong
+        ARForecaster(12, seasonal_period=96),  # strong
+    ]
+
+
+def run_experiment():
+    series = seasonal_series(900, rng=np.random.default_rng(0))
+    train, test = series.split(0.9)
+    horizon = len(test)
+    rows = []
+    for weighting in ("uniform", "inverse_error", "softmax"):
+        ensemble = EnsembleForecaster(members(), weighting=weighting)
+        prediction = ensemble.forecast(train, horizon)
+        weights = [float(w) for w in np.round(ensemble.weights_, 3)]
+        rows.append({
+            "weighting": weighting,
+            "mae": mae(test.values, prediction),
+            "weights": weights,
+        })
+    # Reference: the single best member.
+    best_member = ARForecaster(12, seasonal_period=96)
+    rows.append({
+        "weighting": "best_single_member",
+        "mae": mae(test.values, best_member.forecast(train, horizon)),
+        "weights": "-",
+    })
+    return rows
+
+
+@pytest.mark.benchmark(group="a02")
+def test_a02_ensemble_weighting(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("A2: ensemble weighting schemes on seasonal data", rows)
+    by_name = {row["weighting"]: row["mae"] for row in rows}
+    # Adaptive weighting beats uniform when members differ in quality.
+    assert by_name["inverse_error"] < by_name["uniform"]
+    assert by_name["softmax"] < by_name["uniform"]
+    # And stays close to (or beats) the single best member.
+    assert by_name["inverse_error"] <= \
+        by_name["best_single_member"] * 1.3

@@ -1,0 +1,98 @@
+"""E8 — Automated model search (AutoCTS [24], [25]; §II-C Automation).
+
+Claims: (a) automated search over a joint architecture/hyperparameter
+space matches or beats hand-picked models across diverse datasets;
+(b) search respects additional constraints such as model size,
+discovering the best *small* model when asked.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.analytics.automation import (
+    EvolutionarySearch,
+    RandomSearch,
+    SuccessiveHalving,
+    build_forecaster,
+)
+from repro.analytics.forecasting import (
+    HoltWintersForecaster,
+    SeasonalNaiveForecaster,
+    rolling_origin_evaluation,
+)
+from repro.datasets import cloud_demand_dataset, seasonal_series
+
+
+def build_datasets():
+    return [
+        ("seasonal", seasonal_series(700, rng=np.random.default_rng(0)),
+         96),
+        ("noisy", seasonal_series(700, noise_scale=0.8,
+                                  rng=np.random.default_rng(1)), 96),
+        ("cloud", cloud_demand_dataset(
+            n_days=5, rng=np.random.default_rng(2))[0], 144),
+    ]
+
+
+def hand_crafted_score(series, period):
+    """The expert-picked reference model (Holt-Winters, falling back to
+    seasonal-naive when the series is too short)."""
+    try:
+        return rolling_origin_evaluation(
+            lambda: HoltWintersForecaster(period), series,
+            horizon=12, n_origins=3)["score"]
+    except ValueError:
+        return rolling_origin_evaluation(
+            lambda: SeasonalNaiveForecaster(period), series,
+            horizon=12, n_origins=3)["score"]
+
+
+def run_experiment():
+    rows = []
+    for name, series, period in build_datasets():
+        expert = hand_crafted_score(series, period)
+        row = {"dataset": name, "hand_crafted": expert}
+        for label, searcher in [
+            ("random", RandomSearch(rng=np.random.default_rng(3))),
+            ("halving", SuccessiveHalving(rng=np.random.default_rng(4))),
+            ("evolution",
+             EvolutionarySearch(rng=np.random.default_rng(5))),
+        ]:
+            result = searcher.search(series, period, budget=15)
+            row[label] = result.best_score
+        rows.append(row)
+    return rows
+
+
+def run_constrained():
+    series = seasonal_series(700, rng=np.random.default_rng(0))
+    rows = []
+    for budget_label, max_parameters in [("unconstrained", None),
+                                         ("<=30_params", 30)]:
+        searcher = RandomSearch(max_parameters=max_parameters,
+                                rng=np.random.default_rng(6))
+        result = searcher.search(series, 96, budget=15)
+        model = build_forecaster(result.best_config, 96)
+        model.fit(series)
+        rows.append({
+            "constraint": budget_label,
+            "best_family": result.best_config["family"],
+            "score": result.best_score,
+            "n_parameters": getattr(model, "n_parameters", 0),
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="e08")
+def test_e08_automation(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E8: search vs hand-crafted model (MAE)", rows)
+    for row in rows:
+        best_search = min(row["random"], row["halving"],
+                          row["evolution"])
+        assert best_search <= row["hand_crafted"] * 1.05
+
+    constrained = run_constrained()
+    print_table("E8b: size-constrained search", constrained)
+    assert constrained[1]["n_parameters"] <= 30

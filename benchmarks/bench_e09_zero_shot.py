@@ -1,0 +1,72 @@
+"""E9 — Zero-shot configuration transfer (AutoCTS++ [27], [28]).
+
+Claim: a configuration recommended from dataset fingerprints — with at
+most a tiny shortlist validation — approaches the quality of a full
+search at a fraction of its cost ("fully automated ... in minutes").
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.analytics.automation import (
+    RandomSearch,
+    ZeroShotSelector,
+    evaluate_config,
+)
+from repro.datasets import seasonal_series
+
+
+def build_library():
+    """A pool of related datasets (leave-one-out protocol)."""
+    settings = [(1.0, 0.2), (2.0, 0.3), (3.0, 0.2), (1.5, 0.5),
+                (2.5, 0.4)]
+    return [
+        seasonal_series(700, amplitude=a, noise_scale=n,
+                        rng=np.random.default_rng(20 + i))
+        for i, (a, n) in enumerate(settings)
+    ]
+
+
+def run_experiment():
+    datasets = build_library()
+    rows = []
+    for target_index in range(len(datasets)):
+        selector = ZeroShotSelector(
+            searcher=RandomSearch(rng=np.random.default_rng(30)),
+            search_budget=12)
+        for index, series in enumerate(datasets):
+            if index != target_index:
+                selector.add_dataset(series, 96)
+        target = datasets[target_index]
+
+        shortlist = selector.recommend_top(target, 96, k=3)
+        transfer_score = min(
+            evaluate_config(config, target, 96) for config in shortlist)
+
+        search = RandomSearch(rng=np.random.default_rng(31)).search(
+            target, 96, budget=12)
+
+        rows.append({
+            "target": target_index,
+            "zero_shot_mae": transfer_score,
+            "search_mae": search.best_score,
+            "zero_shot_evals": len(shortlist),
+            "search_evals": search.n_evaluations,
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="e09")
+def test_e09_zero_shot(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E9: zero-shot transfer vs full search "
+                "(leave-one-dataset-out)", rows)
+    transfer = np.mean([row["zero_shot_mae"] for row in rows])
+    search = np.mean([row["search_mae"] for row in rows])
+    # Competitive quality ...
+    assert transfer <= search * 1.35
+    # ... at a fraction of the evaluation cost (3 shortlist
+    # evaluations instead of a full search budget).
+    for row in rows:
+        assert row["zero_shot_evals"] <= row["search_evals"] / 3

@@ -1,0 +1,65 @@
+"""E10 — Pretrained representations generalize from few labels
+(§II-C Generality, [30]-[32]).
+
+Claim: encoders pre-trained on abundant *unlabeled* data can be
+"fine-tuned with minimal labeled data" — a linear probe on the frozen
+embedding beats training on raw inputs at matched (small) label counts.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.analytics.representation import (
+    ContrastiveEncoder,
+    LinearProbe,
+    MaskedAutoencoderPretrainer,
+)
+from repro.datasets.classification import waveform_classification_dataset
+
+DATASET = dict(phase_jitter=0.2)
+
+
+def run_experiment():
+    unlabeled, _ = waveform_classification_dataset(
+        120, 96, 4, rng=np.random.default_rng(0), **DATASET)
+    test_x, test_y = waveform_classification_dataset(
+        40, 96, 4, rng=np.random.default_rng(1), **DATASET)
+
+    masked = MaskedAutoencoderPretrainer(
+        n_components=16, n_hidden=48, n_epochs=150,
+        rng=np.random.default_rng(2)).fit(unlabeled)
+    contrastive = ContrastiveEncoder(
+        n_components=16, n_epochs=60,
+        rng=np.random.default_rng(3)).fit(unlabeled)
+
+    rows = []
+    for per_class in (5, 15, 40):
+        train_x, train_y = waveform_classification_dataset(
+            per_class, 96, 4, rng=np.random.default_rng(10 + per_class),
+            **DATASET)
+        row = {"labels": 4 * per_class}
+        row["masked_ae"] = LinearProbe().fit(
+            masked.transform(train_x), train_y).score(
+                masked.transform(test_x), test_y)
+        row["contrastive"] = LinearProbe().fit(
+            contrastive.transform(train_x), train_y).score(
+                contrastive.transform(test_x), test_y)
+        row["raw_windows"] = LinearProbe().fit(
+            train_x, train_y).score(test_x, test_y)
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_representation(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E10: probe accuracy vs labeled-set size", rows)
+    # With a moderate label budget the pretrained embedding beats raw
+    # supervised features ...
+    assert rows[1]["masked_ae"] > rows[1]["raw_windows"]
+    assert rows[2]["masked_ae"] > rows[2]["raw_windows"]
+    # ... and both pretrained encoders are far above chance (0.25).
+    for row in rows:
+        assert row["masked_ae"] > 0.4
+        assert row["contrastive"] > 0.35

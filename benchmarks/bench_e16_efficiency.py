@@ -1,0 +1,89 @@
+"""E16 — Quantization, distillation and continual calibration
+(§II-C Resource efficiency, LightTS [47], QCore [48]).
+
+Claims: (a) accuracy degrades gracefully down to a few bits, so models
+can be matched to edge memory budgets (LightTS's adaptive quantization);
+(b) after a distribution shift, recalibrating only the quantized
+model's scale factors (QCore) recovers most of the lost accuracy at a
+vanishing parameter cost.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.analytics.classification import LightTsDistiller
+from repro.analytics.efficiency import QuantizedLinear
+from repro.datasets.classification import waveform_classification_dataset
+
+
+def run_bits_sweep():
+    Xtr, ytr = waveform_classification_dataset(
+        40, 96, 4, rng=np.random.default_rng(0))
+    Xte, yte = waveform_classification_dataset(
+        20, 96, 4, rng=np.random.default_rng(1))
+    distiller = LightTsDistiller(
+        teacher_sizes=(120, 180), student_kernels=25,
+        rng=np.random.default_rng(2)).fit(Xtr, ytr)
+    teacher_accuracy = distiller.teacher_score(Xte, yte)
+    weights, intercept = distiller._student_float
+    rows = []
+    for bits in (16, 8, 4, 3, 2):
+        distiller.bits = bits
+        distiller.student_ = QuantizedLinear(weights, intercept, bits)
+        rows.append({
+            "bits": bits,
+            "student_bytes": distiller.student_size_bytes,
+            "student_acc": distiller.score(Xte, yte),
+            "teacher_acc": teacher_accuracy,
+        })
+    return rows
+
+
+def run_qcore():
+    rng = np.random.default_rng(3)
+    weights = rng.normal(size=(16, 4))
+    inputs = rng.normal(size=(500, 16))
+    drifted = inputs @ (1.35 * weights) + 0.4
+    rows = []
+    for bits in (8, 4):
+        layer = QuantizedLinear(weights, np.zeros(4), bits)
+        before = float(np.abs(layer.predict(inputs) - drifted).mean())
+        layer.calibrate(inputs, drifted)
+        after = float(np.abs(layer.predict(inputs) - drifted).mean())
+        rows.append({
+            "bits": bits,
+            "error_before_calib": before,
+            "error_after_calib": after,
+            "floats_updated": len(layer.scales) + len(layer.intercept),
+        })
+    return rows
+
+
+def run_experiment():
+    return run_bits_sweep(), run_qcore()
+
+
+@pytest.mark.benchmark(group="e16")
+def test_e16_efficiency(benchmark):
+    bits_rows, qcore_rows = benchmark.pedantic(run_experiment, rounds=1,
+                                               iterations=1)
+    print_table("E16a: student accuracy vs bit-width (LightTS)",
+                bits_rows)
+    print_table("E16b: QCore continual calibration under drift",
+                qcore_rows)
+    # Graceful degradation: 8-bit matches 16-bit; even 3-bit stays
+    # within 10 points of the teacher.
+    by_bits = {row["bits"]: row for row in bits_rows}
+    assert by_bits[8]["student_acc"] >= by_bits[16]["student_acc"] - 0.02
+    assert by_bits[3]["student_acc"] >= by_bits[16]["teacher_acc"] - 0.1
+    # Storage shrinks monotonically with bits.
+    sizes = [row["student_bytes"] for row in bits_rows]
+    assert sizes == sorted(sizes, reverse=True)
+    # QCore: scale-only calibration recovers most of the drift error;
+    # at 4 bits the quantization noise itself floors the recovery.
+    by_qbits = {row["bits"]: row for row in qcore_rows}
+    assert by_qbits[8]["error_after_calib"] < \
+        0.2 * by_qbits[8]["error_before_calib"]
+    assert by_qbits[4]["error_after_calib"] < \
+        0.5 * by_qbits[4]["error_before_calib"]

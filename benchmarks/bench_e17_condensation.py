@@ -1,0 +1,75 @@
+"""E17 — Dataset condensation preserves training utility
+(§II-C Resource efficiency, TimeDC [49]).
+
+Claim: "compress large time series into a smaller counterpart while
+maintaining key properties" — a classifier trained on the condensed set
+approaches full-data accuracy at 10-30x compression, and the two-fold
+(time + frequency) matching beats time-only matching and random
+sampling.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.analytics.classification import RocketClassifier
+from repro.analytics.efficiency import TimeSeriesCondenser
+from repro.datasets.classification import waveform_classification_dataset
+
+
+def accuracy_of(Xtr, ytr, Xte, yte, seed=3):
+    model = RocketClassifier(150, rng=np.random.default_rng(seed))
+    model.fit(Xtr, ytr)
+    return model.score(Xte, yte)
+
+
+def run_experiment():
+    X, y = waveform_classification_dataset(
+        80, 96, 4, rng=np.random.default_rng(0))
+    Xte, yte = waveform_classification_dataset(
+        30, 96, 4, rng=np.random.default_rng(1))
+    full_accuracy = accuracy_of(X, y, Xte, yte)
+    rng = np.random.default_rng(2)
+
+    rows = []
+    for per_class in (3, 5, 10):
+        n_condensed = 4 * per_class
+        # Two-fold condensation.
+        condenser = TimeSeriesCondenser(
+            per_class, frequency_weight=1.0,
+            rng=np.random.default_rng(4))
+        Xc, yc = condenser.fit_labeled(X, y)
+        # Time-only ablation.
+        time_only = TimeSeriesCondenser(
+            per_class, frequency_weight=0.0,
+            rng=np.random.default_rng(4))
+        Xt, yt = time_only.fit_labeled(X, y)
+        # Random-sample baseline (mean of 3 draws).
+        random_scores = []
+        for _ in range(3):
+            chosen = rng.choice(len(X), size=n_condensed, replace=False)
+            random_scores.append(accuracy_of(X[chosen], y[chosen],
+                                             Xte, yte))
+        rows.append({
+            "condensed_size": n_condensed,
+            "compression": f"{len(X) // n_condensed}x",
+            "two_fold": accuracy_of(Xc, yc, Xte, yte),
+            "time_only": accuracy_of(Xt, yt, Xte, yte),
+            "random_sample": float(np.mean(random_scores)),
+            "full_data": full_accuracy,
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="e17")
+def test_e17_condensation(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E17: classifier accuracy trained on condensed data",
+                rows)
+    for row in rows:
+        # The condensed set preserves most of the full-data utility.
+        assert row["two_fold"] >= row["full_data"] - 0.15
+        # Two-fold matching is at least as good as time-only.
+        assert row["two_fold"] >= row["time_only"] - 0.02
+    # At the largest compression the synthetic set beats random picks.
+    assert rows[0]["two_fold"] > rows[0]["random_sample"] - 0.02

@@ -1,0 +1,81 @@
+"""E18 — Stochastic-dominance pruning (§II-D, [51], [52], [53]).
+
+Claim: pruning candidates by stochastic dominance "enables rapid
+identification of optimal choices across utility functions that encode
+different risk profiles" — the expected-utility optimum provably
+survives, and only the (small) non-dominated set needs expensive
+utility evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.governance.uncertainty import Histogram
+from repro.decision import (
+    DeadlineUtility,
+    RiskAverseUtility,
+    RiskNeutralUtility,
+    RiskSeekingUtility,
+    select_best,
+)
+
+
+def make_candidates(n, seed=0):
+    """Random travel-cost distributions; most are dominated."""
+    rng = np.random.default_rng(seed)
+    candidates = []
+    for _ in range(n):
+        mean = rng.uniform(8.0, 20.0)
+        std = rng.uniform(0.3, 4.0)
+        candidates.append(Histogram.from_samples(
+            rng.normal(mean, std, 400), n_bins=30))
+    return candidates
+
+
+def run_experiment():
+    utilities = [
+        ("risk_neutral", RiskNeutralUtility()),
+        ("risk_averse", RiskAverseUtility(aversion=2.0, scale=15.0)),
+        ("risk_seeking", RiskSeekingUtility(seeking=2.0, scale=15.0)),
+        ("deadline", DeadlineUtility(12.0)),
+    ]
+    rows = []
+    for n in (20, 60, 150):
+        candidates = make_candidates(n)
+        agree = True
+        pruned_sizes = []
+        for _, utility in utilities:
+            best_pruned, _, n_pruned = select_best(candidates, utility,
+                                                   prune=True)
+            pruned_sizes.append(n_pruned)
+        for name, utility in utilities:
+            _, value_full, _ = select_best(candidates, utility,
+                                           prune=False)
+            _, value_pruned, _ = select_best(candidates, utility,
+                                             prune=True)
+            # Same achieved utility (indices may differ on exact ties).
+            agree &= abs(value_full - value_pruned) <= \
+                1e-9 * max(1.0, abs(value_full))
+        rows.append({
+            "candidates": n,
+            "survivors": int(np.mean(pruned_sizes)),
+            "optimum_preserved": agree,
+            "evals_saved": f"{1 - np.mean(pruned_sizes) / n:.0%}",
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="e18")
+def test_e18_dominance(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E18: FSD pruning across four risk profiles", rows)
+    for row in rows:
+        # Correctness: the same winner with and without pruning, for
+        # every risk profile.
+        assert row["optimum_preserved"]
+        # Effectiveness: most candidates are pruned away.
+        assert row["survivors"] < 0.5 * row["candidates"]
+    # Pruning keeps getting more effective as the pool grows.
+    assert rows[-1]["survivors"] / rows[-1]["candidates"] <= \
+        rows[0]["survivors"] / rows[0]["candidates"]

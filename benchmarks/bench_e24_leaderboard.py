@@ -1,0 +1,121 @@
+"""E24 — Unified, fair benchmarking of analytics methods
+(§II-C Benchmarking, [6], [50]).
+
+Claim: comparing methods requires one shared protocol across a model
+zoo and a dataset suite (the FoundTS recipe); no single model wins
+everywhere, which is exactly why the leaderboard (and the automation
+of E8) is needed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics.forecasting import (
+    ARForecaster,
+    DriftForecaster,
+    EnsembleForecaster,
+    HoltWintersForecaster,
+    NaiveForecaster,
+    SeasonalNaiveForecaster,
+)
+from repro.benchmarking import ForecastingLeaderboard
+from repro.datasets import inject_anomalies, seasonal_series
+from repro.datatypes import TimeSeries
+
+
+def build_board():
+    board = ForecastingLeaderboard(horizon=24, n_origins=3)
+    board.add_model("naive", lambda: NaiveForecaster())
+    board.add_model("drift", lambda: DriftForecaster())
+    board.add_model("snaive", lambda: SeasonalNaiveForecaster(96))
+    board.add_model("holt_winters",
+                    lambda: HoltWintersForecaster(96))
+    board.add_model("ar_seasonal",
+                    lambda: ARForecaster(12, seasonal_period=96))
+    board.add_model("ensemble", lambda: EnsembleForecaster([
+        SeasonalNaiveForecaster(96),
+        ARForecaster(12, seasonal_period=96),
+        HoltWintersForecaster(96),
+    ]))
+
+    rng = np.random.default_rng
+    board.add_dataset("seasonal",
+                      seasonal_series(700, rng=rng(0)))
+    board.add_dataset("noisy",
+                      seasonal_series(700, noise_scale=1.0, rng=rng(1)))
+    trend_values = (seasonal_series(700, rng=rng(2)).values[:, 0]
+                    + np.arange(700) * 0.01)
+    board.add_dataset("trending", TimeSeries(trend_values))
+    board.add_dataset("random_walk", TimeSeries(
+        np.cumsum(rng(3).normal(size=700))))
+    return board
+
+
+def build_detection_board():
+    from repro.analytics.anomaly import (
+        AutoencoderDetector,
+        RandomizedEnsembleDetector,
+        SpectralResidualDetector,
+    )
+    from repro.benchmarking import DetectionLeaderboard
+
+    board = DetectionLeaderboard()
+    board.add_detector("spectral", lambda: SpectralResidualDetector())
+    board.add_detector("autoencoder", lambda: AutoencoderDetector(
+        window=24, n_epochs=30, rng=np.random.default_rng(10)))
+    board.add_detector("ae_ensemble", lambda: RandomizedEnsembleDetector(
+        n_members=5, window=24, n_epochs=20,
+        rng=np.random.default_rng(11)))
+    for name, noise, seed in (("clean", 0.3, 20), ("noisy", 0.8, 30)):
+        train = seasonal_series(900, noise_scale=noise,
+                                rng=np.random.default_rng(seed))
+        test_clean = seasonal_series(
+            450, noise_scale=noise, rng=np.random.default_rng(seed + 1))
+        test, labels = inject_anomalies(
+            test_clean, 0.05, rng=np.random.default_rng(seed + 2))
+        board.add_dataset(name, train, test, labels)
+    return board
+
+
+def run_experiment():
+    board = build_board()
+    board.run()
+    detection = build_detection_board()
+    detection.run()
+    return board, detection
+
+
+@pytest.mark.benchmark(group="e24")
+def test_e24_leaderboard(benchmark):
+    board, detection = benchmark.pedantic(run_experiment, rounds=1,
+                                          iterations=1)
+    print()
+    print(board.render("mae"))
+    print()
+    print(detection.render("roc_auc"))
+    detection_table = detection.table("roc_auc")
+    # Every detector is far above chance on every dataset: the shared
+    # protocol is measuring real capability.
+    assert np.nanmin(detection_table["scores"]) > 0.6
+    table = board.table("mae")
+    ranks = dict(zip(table["models"], table["mean_rank"]))
+    # Seasonal structure gets exploited where it exists ...
+    scores = table["scores"]
+    datasets = table["datasets"]
+    models = table["models"]
+    seasonal_column = datasets.index("seasonal")
+    walk_column = datasets.index("random_walk")
+    snaive_row = models.index("snaive")
+    naive_row = models.index("naive")
+    assert scores[snaive_row, seasonal_column] < \
+        scores[naive_row, seasonal_column]
+    # ... but on a random walk the naive model wins (no free lunch).
+    assert scores[naive_row, walk_column] <= \
+        scores[snaive_row, walk_column]
+    # Per-dataset winners differ: benchmarking is necessary.
+    winners = {int(np.argmin(scores[:, c])) for c in range(len(datasets))}
+    assert len(winners) >= 2
+    # The ensemble is never the worst model anywhere.
+    ensemble_row = models.index("ensemble")
+    for column in range(len(datasets)):
+        assert scores[ensemble_row, column] < scores[:, column].max()

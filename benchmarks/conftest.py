@@ -1,0 +1,39 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_eXX_*.py`` module reproduces one experiment from
+DESIGN.md's index: it builds the workload, runs the method(s) under
+``pytest-benchmark`` timing, prints the paper-style table, and asserts
+the *direction* of the paper's claim (who wins, roughly by what
+factor).  Absolute numbers live in EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def print_table(title, rows, *, floatfmt="{:.4f}"):
+    """Render a list of dict rows as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    rendered = []
+    for row in rows:
+        rendered.append({
+            key: (floatfmt.format(value) if isinstance(value, float)
+                  else str(value))
+            for key, value in row.items()
+        })
+    widths = {
+        key: max(len(key), *(len(row[key]) for row in rendered))
+        for key in columns
+    }
+    header = "  ".join(key.ljust(widths[key]) for key in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rendered:
+        print("  ".join(row[key].ljust(widths[key]) for key in columns))

@@ -1,0 +1,92 @@
+"""Robust, explainable anomaly monitoring on contaminated sensor data.
+
+Reproduces the robustness + explainability storyline of §II-C: an
+operations team must detect anomalies in sensor streams, but the
+*training* archive itself contains outliers (no one ever cleaned it),
+and every alarm must say *which channel* misbehaved.
+
+* robust autoencoders [34, 35] train on the dirty archive;
+* ensembles [41, 42] stabilize the scores;
+* the post-hoc explainability metric of [35] verifies that
+  reconstruction errors localize the offending channel.
+
+Run with::
+
+    python examples/anomaly_monitoring.py
+"""
+
+import numpy as np
+
+from repro.datasets import inject_anomalies, seasonal_series
+from repro.analytics.anomaly import (
+    AutoencoderDetector,
+    DiversityDrivenEnsembleDetector,
+    RobustAutoencoderDetector,
+    SpectralResidualDetector,
+)
+from repro.analytics.explainability import (
+    explanation_accuracy,
+    inject_channel_anomalies,
+)
+from repro.analytics.metrics import (
+    best_f1,
+    point_adjusted_scores,
+    roc_auc,
+)
+
+
+def main():
+    rng_archive = np.random.default_rng(30)
+    archive_clean = seasonal_series(1200, rng=rng_archive)
+    archive, _ = inject_anomalies(archive_clean, 0.1,
+                                  rng=np.random.default_rng(31))
+    print(f"training archive: {len(archive)} steps, ~10% contaminated "
+          "(nobody cleaned it)")
+
+    live_clean = seasonal_series(600, rng=np.random.default_rng(32))
+    live, labels = inject_anomalies(live_clean, 0.05,
+                                    rng=np.random.default_rng(33))
+    print(f"live stream: {len(live)} steps, {labels.sum()} anomalous\n")
+
+    detectors = [
+        ("spectral residual (no training)", SpectralResidualDetector()),
+        ("vanilla autoencoder", AutoencoderDetector(
+            window=24, n_hidden=48, n_latent=12, n_epochs=60,
+            learning_rate=0.01, rng=np.random.default_rng(34))),
+        ("robust autoencoder [34,35]", RobustAutoencoderDetector(
+            window=24, n_hidden=48, n_latent=12, n_epochs=60,
+            learning_rate=0.01, trim_fraction=0.3,
+            rng=np.random.default_rng(34))),
+        ("diversity-driven ensemble [42]", DiversityDrivenEnsembleDetector(
+            n_members=4, pool_size=8, window=24, n_epochs=25,
+            rng=np.random.default_rng(35))),
+    ]
+    print(f"{'detector':34s}{'best F1':>9s}{'ROC-AUC':>9s}")
+    print("-" * 52)
+    for name, detector in detectors:
+        detector.fit(archive)
+        scores = point_adjusted_scores(labels, detector.score(live))
+        f1, _ = best_f1(labels, scores)
+        auc = roc_auc(labels, scores)
+        print(f"{name:34s}{f1:9.3f}{auc:9.3f}")
+
+    # Explainability: do the errors point at the right channel?
+    multi_clean = seasonal_series(900, n_channels=3,
+                                  rng=np.random.default_rng(36))
+    live_multi, cells = inject_channel_anomalies(
+        seasonal_series(400, n_channels=3,
+                        rng=np.random.default_rng(37)),
+        0.05, rng=np.random.default_rng(38))
+    explainer = AutoencoderDetector(window=16, n_epochs=40,
+                                    rng=np.random.default_rng(39))
+    explainer.fit(multi_clean)
+    accuracy = explanation_accuracy(
+        explainer.feature_errors(live_multi), cells)
+    print(f"\nexplanation accuracy (per-channel localization AUC): "
+          f"{accuracy:.3f}")
+    print("an operator seeing an alarm also sees *which* sensor channel "
+          "caused it - the explainability requirement of Sec. II-C.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""The MagicScaler scenario: uncertainty-aware predictive autoscaling.
+
+Reproduces the paper's cloud example (§I, [6]): resource scaling
+decisions made from probabilistic demand forecasts "maintain service
+quality while minimizing energy consumption".  Capacity takes an hour
+to come online, so a reactive policy structurally lags the morning
+ramp and the recurring evening batch spike; the predictive policy
+anticipates both and provisions the demand distribution's tail
+quantile.
+
+Run with::
+
+    python examples/cloud_autoscaling.py
+"""
+
+import numpy as np
+
+from repro.datasets import cloud_demand_dataset
+from repro.analytics.forecasting import GaussianForecaster
+from repro.decision import (
+    FixedScaler,
+    PredictiveScaler,
+    ReactiveScaler,
+    simulate_scaling,
+)
+
+LEAD_STEPS = 6          # capacity lead time: 6 x 10 min = 1 hour
+STEPS_PER_DAY = 144
+
+
+def main():
+    demand, burst_steps = cloud_demand_dataset(
+        n_days=12, daily_amplitude=80.0, burst_rate_per_day=0.5,
+        daily_spike_height=250.0, rng=np.random.default_rng(6))
+    values = demand.values[:, 0]
+    print(f"demand trace: {len(demand)} steps over 12 days, "
+          f"mean {values.mean():.0f}, peak {values.max():.0f} req/s, "
+          f"{burst_steps.sum()} surge steps")
+
+    # A peek at the probabilistic forecast the scaler consumes.
+    train = demand.slice(0, 10 * STEPS_PER_DAY)
+    forecaster = GaussianForecaster(
+        n_lags=24, seasonal_period=STEPS_PER_DAY).fit(train)
+    distributions = forecaster.predict_distribution(LEAD_STEPS)
+    print("\nforecast for the next hour (10-minute steps):")
+    for step, distribution in enumerate(distributions, start=1):
+        print(f"  +{10 * step:3d} min: mean {distribution.mean():6.1f}, "
+              f"95th pct {distribution.quantile(0.95):6.1f}")
+
+    print(f"\nscaling policies (capacity lead time: {10 * LEAD_STEPS} "
+          "minutes):")
+    header = (f"  {'policy':28s}{'violations':>12s}{'capacity':>10s}"
+              f"{'overprov':>10s}{'actions':>9s}")
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    policies = [
+        ("fixed @ 95% of peak",
+         FixedScaler(float(values.max()) * 0.95)),
+        ("reactive (headroom 1.3)", ReactiveScaler(headroom=1.3)),
+        ("reactive (headroom 1.6)", ReactiveScaler(headroom=1.6)),
+        ("predictive (SLO 5%)",
+         PredictiveScaler(slo_target=0.05, seasonal_period=STEPS_PER_DAY,
+                          horizon=LEAD_STEPS)),
+        ("predictive (SLO 2%)",
+         PredictiveScaler(slo_target=0.02, seasonal_period=STEPS_PER_DAY,
+                          horizon=LEAD_STEPS)),
+    ]
+    for name, scaler in policies:
+        result = simulate_scaling(demand, scaler,
+                                  warmup=3 * STEPS_PER_DAY,
+                                  lead_time=LEAD_STEPS)
+        print(f"  {name:28s}{result['violations']:12.3f}"
+              f"{result['mean_capacity']:10.1f}"
+              f"{result['mean_overprovision']:10.1f}"
+              f"{result['scaling_actions']:9d}")
+
+    print("\nreading: the predictive scaler reaches violation levels the "
+          "reactive one cannot, at *lower* mean capacity - the "
+          "uncertainty-aware, proactive decision making of [6].")
+
+
+if __name__ == "__main__":
+    main()

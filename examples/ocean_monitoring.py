@@ -1,0 +1,57 @@
+"""Ocean wave-height monitoring from sparse buoys.
+
+Reproduces the spatio-temporal completion scenario of the paper's
+governance section (ref. [2]: completing "global significant wave
+heights using sparse buoy data"): a smooth spatio-temporal field is
+observed only at a handful of instrumented grid cells, and governance
+must reconstruct the rest before analytics (here: a storm-cell alert)
+can run.
+
+Run with::
+
+    python examples/ocean_monitoring.py
+"""
+
+import numpy as np
+
+from repro.datasets import sparse_buoy_observations, wave_field_dataset
+from repro.governance.imputation import complete_field
+
+
+def main():
+    rng = np.random.default_rng(0)
+    field = wave_field_dataset(n_frames=48, grid=(16, 16), rng=rng)
+    truth = field.frames[..., 0]
+    observed, buoys = sparse_buoy_observations(
+        field, observed_fraction=0.12, rng=np.random.default_rng(1))
+    print(f"field: {len(field)} frames of a "
+          f"{field.grid_shape[0]}x{field.grid_shape[1]} ocean grid; "
+          f"{int(buoys.sum())} buoys instrument "
+          f"{buoys.mean():.0%} of cells")
+
+    completed = complete_field(field, observed, bandwidth=1.8)
+    hidden = np.isnan(observed)
+    model_error = np.abs(completed[hidden] - truth[hidden]).mean()
+    mean_error = np.abs(truth[~hidden].mean() - truth[hidden]).mean()
+    print(f"\ncompletion MAE on uninstrumented cells: {model_error:.3f} m")
+    print(f"(climatological-mean baseline:          {mean_error:.3f} m; "
+          f"field std {truth.std():.3f} m)")
+
+    # Analytics on the completed field: where is the storm?
+    last = completed[-1]
+    threshold = np.quantile(truth, 0.95)
+    alert_cells = last > threshold
+    true_cells = truth[-1] > threshold
+    if alert_cells.any() or true_cells.any():
+        overlap = (alert_cells & true_cells).sum()
+        union = (alert_cells | true_cells).sum()
+        print(f"\nstorm alert (cells above the 95th-percentile height):")
+        print(f"  flagged {alert_cells.sum()} cells, "
+              f"truth has {true_cells.sum()}; IoU "
+              f"{overlap / max(union, 1):.2f}")
+    print("\ngovernance reconstructed the field a decision layer can "
+          "act on - from 12% coverage.")
+
+
+if __name__ == "__main__":
+    main()

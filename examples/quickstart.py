@@ -1,0 +1,89 @@
+"""Quickstart: the Data-Governance-Analytics-Decision paradigm, end to end.
+
+Builds the paper's Figure 1 as a runnable pipeline on a synthetic traffic
+deployment:
+
+* data        — correlated traffic-speed sensors with 25 % missing values,
+* governance  — Kalman-smoother imputation,
+* analytics   — spatio-temporal graph-filter forecasting,
+* decision    — dispatch extra buses where predicted speeds collapse.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import DecisionPipeline
+from repro.analytics.forecasting import GraphFilterForecaster
+from repro.analytics.metrics import mae
+from repro.datasets import traffic_speed_dataset
+from repro.datatypes import CorrelatedTimeSeries, TimeSeries
+from repro.governance.imputation import impute_seasonal
+
+
+def load_data(state):
+    rng = np.random.default_rng(7)
+    full = traffic_speed_dataset(n_sensors=16, n_days=7, rng=rng)
+    train, test = full.split(0.9)
+    state["truth"] = train
+    state["test"] = test
+    state["observed"] = train.corrupt(0.25, rng, block_length=6)
+    return ("collected 7 days from 16 sensors, "
+            f"{state['observed'].missing_fraction():.0%} missing")
+
+
+def impute(state):
+    observed = state["observed"]
+    completed = impute_seasonal(observed.as_timeseries(), period=96)
+    state["clean"] = CorrelatedTimeSeries(
+        completed.values, adjacency=observed.adjacency,
+        timestamps=observed.timestamps, names=observed.names)
+    holes = ~observed.mask
+    error = np.abs(completed.values[holes]
+                   - state["truth"].values[holes]).mean()
+    crude = np.nanmean(observed.values)
+    crude_error = np.abs(crude - state["truth"].values[holes]).mean()
+    return (f"imputed missing speeds: MAE {error:.2f} km/h on the gaps "
+            f"(naive mean-fill would be {crude_error:.2f} km/h)")
+
+
+def forecast(state):
+    model = GraphFilterForecaster(n_lags=6, n_hops=2)
+    model.fit(state["clean"])
+    horizon = len(state["test"])
+    state["forecast"] = model.predict(horizon)
+    error = mae(state["test"].values, state["forecast"])
+    return f"forecast {horizon} steps ahead, MAE {error:.2f} km/h"
+
+
+def decide(state):
+    predicted = state["forecast"]
+    # Dispatch to the three sensors with the lowest predicted speeds.
+    slowest = np.argsort(predicted.min(axis=0))[:3]
+    state["dispatch"] = slowest
+    names = [state["clean"].names[i] for i in slowest]
+    speeds = predicted.min(axis=0)[slowest]
+    detail = ", ".join(f"{n} ({s:.0f} km/h)"
+                       for n, s in zip(names, speeds))
+    return f"dispatching extra buses to the 3 slowest sensors: {detail}"
+
+
+def main():
+    pipeline = DecisionPipeline("traffic operations quickstart")
+    pipeline.add_data("collect", load_data)
+    pipeline.add_governance("impute", impute)
+    pipeline.add_analytics("forecast", forecast)
+    pipeline.add_decision("dispatch", decide)
+
+    state, report = pipeline.run()
+    print(report.render())
+    print()
+    print("Every stage is inspectable; drop one with "
+          "pipeline.without_stage(name) to study its contribution "
+          "(see benchmarks/bench_e01_pipeline.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim so the package installs offline (no wheel available)."""
+
+from setuptools import setup
+
+setup()

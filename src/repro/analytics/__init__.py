@@ -1,0 +1,30 @@
+"""Data analytics (paper Sec. II-C): forecasting, anomaly detection and
+classification, organized around the five desired characteristics --
+automation, generality, robustness, explainability, and resource
+efficiency."""
+
+from . import (
+    anomaly,
+    generative,
+    automation,
+    classification,
+    efficiency,
+    explainability,
+    forecasting,
+    metrics,
+    representation,
+    robustness,
+)
+
+__all__ = [
+    "anomaly",
+    "generative",
+    "automation",
+    "classification",
+    "efficiency",
+    "explainability",
+    "forecasting",
+    "metrics",
+    "representation",
+    "robustness",
+]

@@ -1,0 +1,156 @@
+"""A small fully-connected network with manual backpropagation.
+
+This is the shared neural substrate of the analytics layer: the
+autoencoder detectors, the masked pretrainer, and the distillation
+students are all instances of this class.  It deliberately supports the
+features those consumers need and nothing more:
+
+* arbitrary layer sizes with ``tanh`` hidden activations and a linear
+  output,
+* mini-batch SGD with momentum,
+* **per-sample weights** — the hook the robust detectors use to
+  down-weight suspected anomalies during training,
+* deterministic behaviour under an explicit ``rng``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive, ensure_rng
+
+__all__ = ["Mlp"]
+
+
+class Mlp:
+    """Multi-layer perceptron trained with squared error.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[input, hidden..., output]`` — at least two entries.
+    learning_rate / momentum / n_epochs / batch_size:
+        SGD hyperparameters.
+    rng:
+        Seed or generator for weight init and batch shuffling.
+    """
+
+    def __init__(self, layer_sizes, *, learning_rate=0.01, momentum=0.9,
+                 n_epochs=100, batch_size=64, rng=None):
+        sizes = [int(s) for s in layer_sizes]
+        if len(sizes) < 2 or any(s < 1 for s in sizes):
+            raise ValueError(f"invalid layer sizes {layer_sizes!r}")
+        self.layer_sizes = sizes
+        self.learning_rate = float(check_positive(learning_rate,
+                                                  "learning_rate"))
+        self.momentum = float(momentum)
+        self.n_epochs = int(check_positive(n_epochs, "n_epochs"))
+        self.batch_size = int(check_positive(batch_size, "batch_size"))
+        self._rng = ensure_rng(rng)
+
+        self.weights = []
+        self.biases = []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            scale = np.sqrt(2.0 / (fan_in + fan_out))
+            self.weights.append(self._rng.normal(0.0, scale,
+                                                 size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._velocity_w = [np.zeros_like(w) for w in self.weights]
+        self._velocity_b = [np.zeros_like(b) for b in self.biases]
+        self.training_losses = []
+
+    @property
+    def n_parameters(self):
+        return int(sum(w.size for w in self.weights)
+                   + sum(b.size for b in self.biases))
+
+    # -- forward / backward ------------------------------------------------
+
+    def forward(self, inputs):
+        """Forward pass; returns (output, per-layer activations)."""
+        activations = [np.asarray(inputs, dtype=float)]
+        current = activations[0]
+        last = len(self.weights) - 1
+        for index, (w, b) in enumerate(zip(self.weights, self.biases)):
+            pre = current @ w + b
+            current = pre if index == last else np.tanh(pre)
+            activations.append(current)
+        return current, activations
+
+    def predict(self, inputs):
+        """Forward pass returning only the output."""
+        output, _ = self.forward(inputs)
+        return output
+
+    def _backward(self, activations, output_gradient):
+        """Accumulate gradients given d(loss)/d(output)."""
+        gradients_w = [None] * len(self.weights)
+        gradients_b = [None] * len(self.biases)
+        delta = output_gradient
+        for index in range(len(self.weights) - 1, -1, -1):
+            gradients_w[index] = activations[index].T @ delta
+            gradients_b[index] = delta.sum(axis=0)
+            if index > 0:
+                delta = delta @ self.weights[index].T
+                delta = delta * (1.0 - activations[index] ** 2)  # tanh'
+        return gradients_w, gradients_b
+
+    # -- training ---------------------------------------------------------------
+
+    def fit(self, inputs, targets, sample_weight=None):
+        """Train with (weighted) mean squared error.
+
+        Parameters
+        ----------
+        inputs / targets:
+            Arrays of shape ``(n, input_dim)`` / ``(n, output_dim)``.
+        sample_weight:
+            Optional non-negative per-sample weights (robust training
+            sets suspected outliers to zero).
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if inputs.ndim != 2 or targets.ndim != 2:
+            raise ValueError("inputs and targets must be 2-D")
+        if inputs.shape[0] != targets.shape[0]:
+            raise ValueError("inputs and targets must have the same rows")
+        n = inputs.shape[0]
+        if sample_weight is None:
+            sample_weight = np.ones(n)
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+            if sample_weight.shape != (n,):
+                raise ValueError("sample_weight must be 1-D of length n")
+            if np.any(sample_weight < 0):
+                raise ValueError("sample_weight must be non-negative")
+
+        for _ in range(self.n_epochs):
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                x = inputs[batch]
+                y = targets[batch]
+                w = sample_weight[batch]
+                output, activations = self.forward(x)
+                error = output - y
+                weighted = error * w[:, None]
+                batch_weight = max(w.sum(), 1e-12)
+                epoch_loss += float((weighted * error).sum())
+                gradient = 2.0 * weighted / batch_weight
+                gradients_w, gradients_b = self._backward(activations,
+                                                          gradient)
+                for index in range(len(self.weights)):
+                    self._velocity_w[index] = (
+                        self.momentum * self._velocity_w[index]
+                        - self.learning_rate * gradients_w[index]
+                    )
+                    self._velocity_b[index] = (
+                        self.momentum * self._velocity_b[index]
+                        - self.learning_rate * gradients_b[index]
+                    )
+                    self.weights[index] += self._velocity_w[index]
+                    self.biases[index] += self._velocity_b[index]
+            total_weight = max(sample_weight.sum(), 1e-12)
+            self.training_losses.append(epoch_loss / total_weight)
+        return self

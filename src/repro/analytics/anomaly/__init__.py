@@ -1,0 +1,17 @@
+"""Anomaly detection: autoencoders, robust training, ensembles, and the
+spectral-residual baseline."""
+
+from .autoencoder import AutoencoderDetector
+from .ensembles import DiversityDrivenEnsembleDetector, RandomizedEnsembleDetector
+from .robust import RobustAutoencoderDetector
+from .spatial import GraphDeviationDetector
+from .spectral import SpectralResidualDetector
+
+__all__ = [
+    "AutoencoderDetector",
+    "DiversityDrivenEnsembleDetector",
+    "GraphDeviationDetector",
+    "RandomizedEnsembleDetector",
+    "RobustAutoencoderDetector",
+    "SpectralResidualDetector",
+]

@@ -1,0 +1,161 @@
+"""Autoencoder ensembles for outlier detection [41, 42].
+
+Two ensemble mechanisms from the paper's robustness discussion:
+
+* :class:`RandomizedEnsembleDetector` — the recurrent-autoencoder-
+  ensemble recipe of [41]: many weak autoencoders, each diversified by
+  random hyperparameters (bottleneck size), random training subsamples,
+  and random *input skip masks* (features zeroed per member, the
+  feed-forward analogue of sparsely-connected skip links).  Scores are
+  aggregated by the median, which cancels the members' individual
+  mistakes.
+* :class:`DiversityDrivenEnsembleDetector` — the diversity-driven
+  selection of [42]: train a larger candidate pool, then greedily keep
+  members whose score vectors correlate least with the already-selected
+  set, so the retained ensemble is *diverse by construction* rather
+  than by luck.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_positive, ensure_rng
+from ...datatypes import TimeSeries
+from .autoencoder import AutoencoderDetector
+
+__all__ = ["RandomizedEnsembleDetector", "DiversityDrivenEnsembleDetector"]
+
+
+class _MaskedDetector(AutoencoderDetector):
+    """An autoencoder member whose input features are randomly skipped."""
+
+    def __init__(self, mask, **kwargs):
+        super().__init__(**kwargs)
+        self._mask = (np.asarray(mask, dtype=float)
+                      if mask is not None else None)
+
+    def _standardize(self, flat):
+        standardized = super()._standardize(flat)
+        if self._mask is None:
+            return standardized
+        return standardized * self._mask
+
+
+class RandomizedEnsembleDetector:
+    """Median-aggregated ensemble of randomized autoencoders [41].
+
+    Parameters
+    ----------
+    n_members:
+        Ensemble size.
+    window:
+        Window length shared by all members.
+    subsample:
+        Fraction of training windows each member sees.
+    skip_probability:
+        Probability of zeroing each input feature for a member.
+    """
+
+    def __init__(self, n_members=8, window=24, *, subsample=0.8,
+                 skip_probability=0.2, n_epochs=40, rng=None):
+        self.n_members = int(check_positive(n_members, "n_members"))
+        self.window = int(check_positive(window, "window"))
+        self.subsample = float(subsample)
+        self.skip_probability = float(skip_probability)
+        self.n_epochs = int(n_epochs)
+        self._rng = ensure_rng(rng)
+        self.members = []
+
+    def _spawn_member(self, n_channels):
+        latent = int(self._rng.integers(2, 7))
+        hidden = int(self._rng.integers(16, 49))
+        member = _MaskedDetector(
+            None,
+            window=self.window, n_hidden=hidden, n_latent=latent,
+            n_epochs=self.n_epochs, rng=self._rng,
+        )
+        n_features = member.feature_count(n_channels)
+        mask = (self._rng.random(n_features)
+                >= self.skip_probability).astype(float)
+        if not mask.any():
+            mask[self._rng.integers(0, n_features)] = 1.0
+        member._mask = mask
+        return member
+
+    def fit(self, series):
+        if not isinstance(series, TimeSeries):
+            raise TypeError("series must be a TimeSeries")
+        self.members = []
+        for _ in range(self.n_members):
+            member = self._spawn_member(series.n_channels)
+            subsampled = self._subsample_series(series)
+            member.fit(subsampled)
+            self.members.append(member)
+        return self
+
+    def _subsample_series(self, series):
+        """Contiguous random crop covering ``subsample`` of the series."""
+        if self.subsample >= 1.0:
+            return series
+        length = len(series)
+        crop = max(self.window + 1, int(self.subsample * length))
+        if crop >= length:
+            return series
+        start = int(self._rng.integers(0, length - crop))
+        return series.slice(start, start + crop)
+
+    def score(self, series):
+        """Median member score per timestep."""
+        if not self.members:
+            raise RuntimeError("fit before scoring")
+        scores = np.stack([m.score(series) for m in self.members])
+        return np.median(scores, axis=0)
+
+
+class DiversityDrivenEnsembleDetector(RandomizedEnsembleDetector):
+    """Greedy diversity-based member selection [42].
+
+    Trains ``pool_size`` candidates, then keeps ``n_members`` whose
+    training-score correlations with the already-kept members are
+    smallest (the first kept member is the pool's most typical one).
+    """
+
+    def __init__(self, n_members=5, pool_size=12, window=24, **kwargs):
+        super().__init__(n_members=n_members, window=window, **kwargs)
+        if pool_size < n_members:
+            raise ValueError("pool_size must be >= n_members")
+        self.pool_size = int(pool_size)
+
+    def fit(self, series):
+        if not isinstance(series, TimeSeries):
+            raise TypeError("series must be a TimeSeries")
+        pool = []
+        score_rows = []
+        for _ in range(self.pool_size):
+            member = self._spawn_member(series.n_channels)
+            member.fit(self._subsample_series(series))
+            pool.append(member)
+            score_rows.append(member.score(series))
+        scores = np.stack(score_rows)
+
+        # Correlation matrix of member score vectors.
+        centered = scores - scores.mean(axis=1, keepdims=True)
+        norms = np.linalg.norm(centered, axis=1)
+        norms[norms == 0] = 1.0
+        unit = centered / norms[:, None]
+        correlation = unit @ unit.T
+
+        # Start from the most "central" member, then add the candidate
+        # least correlated with the current selection.
+        selected = [int(np.argmax(correlation.sum(axis=1)))]
+        while len(selected) < self.n_members:
+            remaining = [i for i in range(self.pool_size)
+                         if i not in selected]
+            redundancy = [
+                max(correlation[i, j] for j in selected) for i in remaining
+            ]
+            selected.append(remaining[int(np.argmin(redundancy))])
+        self.members = [pool[i] for i in selected]
+        self.selected_indices_ = selected
+        return self

@@ -1,0 +1,24 @@
+"""Automated model selection: the AutoCTS family reproduced as search
+over a joint architecture/hyperparameter space."""
+
+from .search import (
+    EvolutionarySearch,
+    RandomSearch,
+    SearchResult,
+    SuccessiveHalving,
+    evaluate_config,
+)
+from .search_space import SearchSpace, build_forecaster
+from .zero_shot import ZeroShotSelector, dataset_meta_features
+
+__all__ = [
+    "EvolutionarySearch",
+    "RandomSearch",
+    "SearchResult",
+    "SearchSpace",
+    "SuccessiveHalving",
+    "ZeroShotSelector",
+    "build_forecaster",
+    "dataset_meta_features",
+    "evaluate_config",
+]

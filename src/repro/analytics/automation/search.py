@@ -1,0 +1,204 @@
+"""Search algorithms over the forecasting configuration space.
+
+The three strategies of the AutoCTS line, in increasing sophistication:
+
+* :class:`RandomSearch` — the strong baseline every AutoML paper keeps;
+* :class:`SuccessiveHalving` — evaluate many configurations cheaply (on
+  a short data prefix), promote the best survivors to fuller budgets;
+* :class:`EvolutionarySearch` — tournament selection + single-knob
+  mutation over the space's neighbourhood structure.
+
+All strategies optimize validation error under an optional **model-size
+constraint** (``max_parameters``) — the paper highlights "the discovery
+of optimal models that adhere to additional constraints, e.g., model
+sizes" — and share a :class:`SearchResult` record so experiments can
+compare them uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_positive, ensure_rng
+from ..forecasting import rolling_origin_evaluation
+from .search_space import SearchSpace, build_forecaster
+
+__all__ = ["SearchResult", "evaluate_config", "RandomSearch",
+           "SuccessiveHalving", "EvolutionarySearch"]
+
+
+class SearchResult:
+    """Outcome of one search run."""
+
+    def __init__(self, best_config, best_score, history, n_evaluations):
+        self.best_config = best_config
+        self.best_score = best_score
+        self.history = history  # list of (config, score)
+        self.n_evaluations = n_evaluations
+
+    def __repr__(self):
+        return (
+            f"SearchResult(best={self.best_config!r}, "
+            f"score={self.best_score:.4f}, evals={self.n_evaluations})"
+        )
+
+
+def evaluate_config(config, series, period, *, horizon=12, n_origins=3,
+                    max_parameters=None, data_fraction=1.0):
+    """Validation score of one configuration (lower is better).
+
+    Returns ``inf`` for configurations that cannot fit the data or that
+    violate the parameter budget.
+    """
+    if data_fraction < 1.0:
+        start = int(len(series) * (1.0 - data_fraction))
+        start = min(start, len(series) - 2)
+        series = series.slice(start, len(series))
+    try:
+        result = rolling_origin_evaluation(
+            lambda: build_forecaster(config, period), series,
+            horizon=horizon, n_origins=n_origins,
+        )
+    except (ValueError, RuntimeError, np.linalg.LinAlgError):
+        return float("inf")
+    if max_parameters is not None:
+        model = build_forecaster(config, period)
+        try:
+            model.fit(series)
+        except (ValueError, RuntimeError):
+            return float("inf")
+        n_parameters = getattr(model, "n_parameters", 0)
+        if n_parameters > max_parameters:
+            return float("inf")
+    return result["score"]
+
+
+class _BaseSearch:
+    def __init__(self, space=None, *, horizon=12, n_origins=3,
+                 max_parameters=None, rng=None):
+        self.space = space if space is not None else SearchSpace()
+        self.horizon = int(check_positive(horizon, "horizon"))
+        self.n_origins = int(check_positive(n_origins, "n_origins"))
+        self.max_parameters = max_parameters
+        self._rng = ensure_rng(rng)
+
+    def _score(self, config, series, period, data_fraction=1.0):
+        return evaluate_config(
+            config, series, period, horizon=self.horizon,
+            n_origins=self.n_origins, max_parameters=self.max_parameters,
+            data_fraction=data_fraction,
+        )
+
+
+class RandomSearch(_BaseSearch):
+    """Sample ``budget`` random configurations, keep the best."""
+
+    def search(self, series, period, budget=20):
+        check_positive(budget, "budget")
+        history = []
+        seen = set()
+        best_config, best_score = None, float("inf")
+        evaluations = 0
+        while evaluations < int(budget):
+            config = self.space.sample(self._rng)
+            key = SearchSpace.encode(config)
+            if key in seen and len(seen) < self.space.size():
+                continue
+            seen.add(key)
+            score = self._score(config, series, period)
+            evaluations += 1
+            history.append((config, score))
+            if score < best_score:
+                best_config, best_score = config, score
+        return SearchResult(best_config, best_score, history, evaluations)
+
+
+class SuccessiveHalving(_BaseSearch):
+    """Multi-fidelity search: short prefixes first, survivors get more.
+
+    Parameters
+    ----------
+    eta:
+        Keep the top ``1/eta`` of each rung.
+    min_fraction:
+        Data fraction of the first rung.
+    """
+
+    def __init__(self, space=None, *, eta=3, min_fraction=0.3, **kwargs):
+        super().__init__(space, **kwargs)
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        self.eta = int(eta)
+        self.min_fraction = float(min_fraction)
+
+    def search(self, series, period, budget=27):
+        check_positive(budget, "budget")
+        candidates = [self.space.sample(self._rng) for _ in range(int(budget))]
+        fraction = self.min_fraction
+        history = []
+        evaluations = 0
+        scored = []
+        while True:
+            scored = []
+            for config in candidates:
+                score = self._score(config, series, period,
+                                    data_fraction=fraction)
+                evaluations += 1
+                history.append((config, score))
+                scored.append((score, config))
+            scored.sort(key=lambda pair: pair[0])
+            if len(candidates) <= 1 or fraction >= 1.0:
+                break
+            keep = max(1, len(candidates) // self.eta)
+            candidates = [config for _, config in scored[:keep]]
+            fraction = min(1.0, fraction * self.eta)
+        best_score, best_config = scored[0]
+        # Final score on full data for comparability.
+        if fraction < 1.0:
+            best_score = self._score(best_config, series, period)
+            evaluations += 1
+        return SearchResult(best_config, best_score, history, evaluations)
+
+
+class EvolutionarySearch(_BaseSearch):
+    """Regularized evolution: tournament parent, one-knob mutation."""
+
+    def __init__(self, space=None, *, population_size=8,
+                 tournament_size=3, **kwargs):
+        super().__init__(space, **kwargs)
+        self.population_size = int(check_positive(population_size,
+                                                  "population_size"))
+        self.tournament_size = int(check_positive(tournament_size,
+                                                  "tournament_size"))
+
+    def search(self, series, period, budget=30):
+        check_positive(budget, "budget")
+        budget = int(budget)
+        history = []
+        population = []  # list of (score, config), newest last
+        evaluations = 0
+
+        def admit(config):
+            nonlocal evaluations
+            score = self._score(config, series, period)
+            evaluations += 1
+            history.append((config, score))
+            population.append((score, config))
+
+        for _ in range(min(self.population_size, budget)):
+            admit(self.space.sample(self._rng))
+        while evaluations < budget:
+            contenders = [
+                population[int(self._rng.integers(0, len(population)))]
+                for _ in range(self.tournament_size)
+            ]
+            parent = min(contenders, key=lambda pair: pair[0])[1]
+            child = self.space.mutate(parent, self._rng)
+            admit(child)
+            if len(population) > self.population_size:
+                population.pop(0)  # age-based removal (regularized)
+        best_config, best_score = None, float("inf")
+        for config, score in history:
+            if score < best_score:
+                best_config, best_score = config, score
+        return SearchResult(best_config, best_score, history, evaluations)

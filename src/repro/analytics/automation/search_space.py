@@ -1,0 +1,172 @@
+"""Joint architecture + hyperparameter search space (AutoCTS family).
+
+The automation line of the paper ([24], [25], [27], [28]) frames model
+design as search over a space of architectures *and* hyperparameters.
+Here the "architectures" are the library's forecaster families and the
+hyperparameters their knobs; a configuration is a plain dict, so search
+algorithms can sample, mutate and compare them without special
+machinery.
+
+``build_forecaster`` is the factory that turns a configuration into a
+ready-to-fit model — the single place where the space's semantics live.
+"""
+
+from __future__ import annotations
+
+from ..._validation import ensure_rng
+from ..forecasting import (
+    ARForecaster,
+    DriftForecaster,
+    EnsembleForecaster,
+    HoltForecaster,
+    HoltWintersForecaster,
+    NaiveForecaster,
+    SeasonalNaiveForecaster,
+    SimpleExponentialSmoothing,
+    VARForecaster,
+)
+
+__all__ = ["SearchSpace", "build_forecaster"]
+
+#: Families and the knobs each one exposes.
+_FAMILIES = {
+    "naive": (),
+    "seasonal_naive": (),
+    "drift": (),
+    "ses": ("alpha_smooth",),
+    "holt": ("alpha_smooth", "beta_smooth"),
+    "holt_winters": ("alpha_smooth", "beta_smooth", "gamma_smooth"),
+    "ar": ("n_lags", "ridge", "use_seasonal_lag"),
+    "var": ("n_lags", "ridge"),
+    "ensemble": ("n_lags", "ridge"),
+}
+
+_CHOICES = {
+    "family": tuple(_FAMILIES),
+    "n_lags": (2, 4, 8, 12, 24),
+    "ridge": (0.1, 1.0, 10.0),
+    "use_seasonal_lag": (False, True),
+    "alpha_smooth": (0.1, 0.3, 0.5, 0.8),
+    "beta_smooth": (0.05, 0.1, 0.3),
+    "gamma_smooth": (0.05, 0.2, 0.4),
+}
+
+
+class SearchSpace:
+    """The discrete configuration space of the automated search.
+
+    Parameters
+    ----------
+    families:
+        Subset of model families to include (default: all).
+    """
+
+    def __init__(self, families=None):
+        if families is None:
+            families = tuple(_FAMILIES)
+        unknown = set(families) - set(_FAMILIES)
+        if unknown:
+            raise ValueError(f"unknown families: {sorted(unknown)}")
+        if not families:
+            raise ValueError("families must not be empty")
+        self.families = tuple(families)
+
+    def sample(self, rng=None):
+        """Draw one random configuration."""
+        rng = ensure_rng(rng)
+        family = self.families[int(rng.integers(0, len(self.families)))]
+        config = {"family": family}
+        for knob in _FAMILIES[family]:
+            choices = _CHOICES[knob]
+            config[knob] = choices[int(rng.integers(0, len(choices)))]
+        return config
+
+    def neighbors(self, config):
+        """All single-knob mutations of ``config`` (plus family swaps).
+
+        Family swaps re-sample the new family's knobs at their default
+        (middle) choice, so the neighbourhood stays small and valid.
+        """
+        results = []
+        for knob in _FAMILIES[config["family"]]:
+            for choice in _CHOICES[knob]:
+                if choice != config[knob]:
+                    mutated = dict(config)
+                    mutated[knob] = choice
+                    results.append(mutated)
+        for family in self.families:
+            if family == config["family"]:
+                continue
+            mutated = {"family": family}
+            for knob in _FAMILIES[family]:
+                choices = _CHOICES[knob]
+                mutated[knob] = (config.get(knob)
+                                 if config.get(knob) in choices
+                                 else choices[len(choices) // 2])
+            results.append(mutated)
+        return results
+
+    def mutate(self, config, rng=None):
+        """One random neighbour (the evolutionary-search operator)."""
+        rng = ensure_rng(rng)
+        options = self.neighbors(config)
+        return options[int(rng.integers(0, len(options)))]
+
+    def size(self):
+        """Total number of configurations in the space."""
+        total = 0
+        for family in self.families:
+            count = 1
+            for knob in _FAMILIES[family]:
+                count *= len(_CHOICES[knob])
+            total += count
+        return total
+
+    @staticmethod
+    def encode(config):
+        """Stable hashable key for deduplication."""
+        return tuple(sorted(config.items()))
+
+
+def build_forecaster(config, period):
+    """Instantiate the forecaster a configuration describes.
+
+    Parameters
+    ----------
+    config:
+        A dict produced by :class:`SearchSpace`.
+    period:
+        The dataset's dominant seasonal period (configurations that use
+        seasonality consume it).
+    """
+    family = config.get("family")
+    if family == "naive":
+        return NaiveForecaster()
+    if family == "seasonal_naive":
+        return SeasonalNaiveForecaster(period)
+    if family == "drift":
+        return DriftForecaster()
+    if family == "ses":
+        return SimpleExponentialSmoothing(alpha=config["alpha_smooth"])
+    if family == "holt":
+        return HoltForecaster(alpha=config["alpha_smooth"],
+                              beta=config["beta_smooth"])
+    if family == "holt_winters":
+        return HoltWintersForecaster(
+            period, alpha=config["alpha_smooth"],
+            beta=config["beta_smooth"], gamma=config["gamma_smooth"])
+    if family == "ar":
+        return ARForecaster(
+            n_lags=config["n_lags"], alpha=config["ridge"],
+            seasonal_period=period if config["use_seasonal_lag"] else None)
+    if family == "var":
+        return VARForecaster(n_lags=config["n_lags"],
+                             alpha=config["ridge"])
+    if family == "ensemble":
+        return EnsembleForecaster([
+            SeasonalNaiveForecaster(period),
+            ARForecaster(n_lags=config["n_lags"], alpha=config["ridge"],
+                         seasonal_period=period),
+            HoltWintersForecaster(period),
+        ])
+    raise ValueError(f"unknown family {family!r}")

@@ -1,0 +1,174 @@
+"""Zero-shot configuration transfer (AutoCTS++ [27], [28]).
+
+Running a full search for every new dataset is expensive; AutoCTS++
+learns a mapping from *dataset characteristics* to good configurations
+so a new dataset gets a strong model "in minutes" with **zero** search
+evaluations.  The reproduction:
+
+* :func:`dataset_meta_features` — an 8-dimensional fingerprint of a
+  series (length, dimensionality, trend/seasonal strength,
+  autocorrelations, noise, skew);
+* :class:`ZeroShotSelector` — stores ``(fingerprint, best_config)``
+  pairs from datasets where a search *was* run, and recommends the
+  stored configuration of the nearest fingerprint for unseen datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_positive
+from .search import RandomSearch
+
+__all__ = ["dataset_meta_features", "ZeroShotSelector"]
+
+
+def _autocorrelation(values, lag):
+    if lag >= len(values):
+        return 0.0
+    a = values[:-lag]
+    b = values[lag:]
+    if a.std() == 0 or b.std() == 0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def dataset_meta_features(series, period):
+    """Fingerprint a series for config transfer.
+
+    Components (all scale-free where possible): log length, number of
+    channels, trend strength, seasonal strength, lag-1 and lag-period
+    autocorrelation, noise ratio, and skewness — the classic STL-style
+    meta-features of the forecasting-meta-learning literature.
+    """
+    check_positive(period, "period")
+    period = int(period)
+    values = series.values[:, 0]
+    n = len(values)
+
+    # Trend strength: R^2 of a linear fit.
+    x = np.arange(n)
+    slope, intercept = np.polyfit(x, values, 1)
+    trend = slope * x + intercept
+    residual_trend = values - trend
+    total_var = values.var() if values.var() > 0 else 1.0
+    trend_strength = max(0.0, 1.0 - residual_trend.var() / total_var)
+
+    # Seasonal strength: variance explained by the per-phase means of
+    # the detrended series.
+    phases = np.arange(n) % period
+    seasonal = np.zeros(period)
+    for phase in range(period):
+        rows = phases == phase
+        if rows.any():
+            seasonal[phase] = residual_trend[rows].mean()
+    deseasoned = residual_trend - seasonal[phases]
+    base_var = residual_trend.var() if residual_trend.var() > 0 else 1.0
+    seasonal_strength = max(0.0, 1.0 - deseasoned.var() / base_var)
+
+    # Noise ratio: variance of first differences vs the series.
+    noise_ratio = float(np.diff(values).var() / (2.0 * total_var))
+
+    centered = values - values.mean()
+    scale = values.std() if values.std() > 0 else 1.0
+    skew = float((centered ** 3).mean() / scale ** 3)
+
+    return np.array([
+        np.log10(max(n, 1)),
+        float(series.n_channels),
+        trend_strength,
+        seasonal_strength,
+        _autocorrelation(values, 1),
+        _autocorrelation(values, period),
+        min(noise_ratio, 2.0),
+        np.clip(skew, -3.0, 3.0),
+    ])
+
+
+class ZeroShotSelector:
+    """Nearest-fingerprint configuration recommendation.
+
+    Parameters
+    ----------
+    searcher:
+        The search strategy used to find each training dataset's best
+        configuration (defaults to a 20-evaluation random search).
+    """
+
+    def __init__(self, searcher=None, *, search_budget=20):
+        self.searcher = searcher if searcher is not None else RandomSearch()
+        self.search_budget = int(check_positive(search_budget,
+                                                "search_budget"))
+        self._fingerprints = []
+        self._configs = []
+        self._scores = []
+
+    @property
+    def n_datasets(self):
+        return len(self._configs)
+
+    def add_dataset(self, series, period):
+        """Run the search on a training dataset and memorize the result."""
+        result = self.searcher.search(series, period,
+                                      budget=self.search_budget)
+        self.add_known(dataset_meta_features(series, period),
+                       result.best_config, result.best_score)
+        return result
+
+    def add_known(self, fingerprint, config, score=float("nan")):
+        """Memorize a pre-computed ``(fingerprint, config)`` pair."""
+        fingerprint = np.asarray(fingerprint, dtype=float)
+        if fingerprint.ndim != 1:
+            raise ValueError("fingerprint must be 1-D")
+        if self._fingerprints and (
+                len(fingerprint) != len(self._fingerprints[0])):
+            raise ValueError("fingerprint dimensionality mismatch")
+        self._fingerprints.append(fingerprint)
+        self._configs.append(dict(config))
+        self._scores.append(float(score))
+        return self
+
+    def _distances(self, series, period):
+        query = dataset_meta_features(series, period)
+        matrix = np.stack(self._fingerprints)
+        mean = matrix.mean(axis=0)
+        scale = matrix.std(axis=0)
+        scale[scale == 0] = 1.0
+        return np.linalg.norm(
+            (matrix - mean) / scale - (query - mean) / scale, axis=1
+        )
+
+    def recommend(self, series, period):
+        """Zero-shot: the stored config of the nearest fingerprint.
+
+        Distances are computed on z-scored fingerprint dimensions so no
+        single feature dominates.
+        """
+        if not self._configs:
+            raise RuntimeError("no training datasets; call add_dataset first")
+        distances = self._distances(series, period)
+        return dict(self._configs[int(np.argmin(distances))])
+
+    def recommend_top(self, series, period, k=3):
+        """A shortlist of the ``k`` nearest datasets' configurations.
+
+        The practical zero-shot protocol: hand the shortlist to a tiny
+        validation pass (k evaluations instead of a full search).
+        Duplicate configurations are collapsed.
+        """
+        if not self._configs:
+            raise RuntimeError("no training datasets; call add_dataset first")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        distances = self._distances(series, period)
+        shortlist = []
+        seen = set()
+        for index in np.argsort(distances):
+            key = tuple(sorted(self._configs[index].items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            shortlist.append(dict(self._configs[index]))
+            if len(shortlist) == k:
+                break
+        return shortlist

@@ -1,0 +1,14 @@
+"""Time-series classification: DTW, random kernels, and LightTS-style
+adaptive ensemble distillation."""
+
+from .distance import KnnDtwClassifier, dtw_distance
+from .lightts import LightTsDistiller
+from .rocket import RocketClassifier, RocketFeatures
+
+__all__ = [
+    "KnnDtwClassifier",
+    "LightTsDistiller",
+    "RocketClassifier",
+    "RocketFeatures",
+    "dtw_distance",
+]

@@ -1,0 +1,194 @@
+"""LightTS: lightweight classification via adaptive ensemble
+distillation [47].
+
+The pipeline the paper describes: a large, accurate *teacher ensemble*
+is distilled into a small *student* whose weights are quantized to fit
+an edge-device memory budget.
+
+* Teacher — several :class:`RocketClassifier` members of different
+  sizes; members are weighted *adaptively* by held-out accuracy, so a
+  weak member cannot poison the soft labels (the "adaptive ensemble"
+  part of LightTS).
+* Student — a softmax-regression on a much smaller random-kernel
+  feature map, trained on the teacher's soft labels (cross-entropy),
+  then quantized with per-class scales.
+* ``fit_for_budget`` picks the largest bit-width whose storage fits a
+  byte budget — the "adapting quantization levels to memory
+  limitations" behaviour the paper highlights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_fraction, check_positive, ensure_rng
+from ..efficiency.quantization import QuantizedLinear, model_size_bytes
+from .rocket import RocketClassifier, RocketFeatures
+
+__all__ = ["LightTsDistiller"]
+
+
+class LightTsDistiller:
+    """Distill a rocket-classifier ensemble into a tiny quantized student.
+
+    Parameters
+    ----------
+    teacher_sizes:
+        Kernel counts of the teacher ensemble members.
+    student_kernels:
+        Kernel count of the student's feature map (much smaller).
+    bits:
+        Weight bit-width of the quantized student.
+    temperature:
+        Softmax temperature used for the teacher's soft labels.
+    holdout_fraction:
+        Share of training data used to weight the teacher members.
+    """
+
+    def __init__(self, teacher_sizes=(150, 200, 250), student_kernels=20,
+                 *, bits=8, temperature=2.0, holdout_fraction=0.25,
+                 n_epochs=150, learning_rate=0.5, rng=None):
+        if not teacher_sizes:
+            raise ValueError("need at least one teacher member")
+        self.teacher_sizes = tuple(int(s) for s in teacher_sizes)
+        self.student_kernels = int(check_positive(student_kernels,
+                                                  "student_kernels"))
+        self.bits = int(bits)
+        self.temperature = float(check_positive(temperature, "temperature"))
+        self.holdout_fraction = check_fraction(
+            holdout_fraction, "holdout_fraction",
+            inclusive_low=False, inclusive_high=False)
+        self.n_epochs = int(check_positive(n_epochs, "n_epochs"))
+        self.learning_rate = float(learning_rate)
+        self._rng = ensure_rng(rng)
+        self._fitted = False
+
+    # -- teacher -----------------------------------------------------------
+
+    def _fit_teacher(self, X, y):
+        n = len(X)
+        n_holdout = max(1, int(self.holdout_fraction * n))
+        order = self._rng.permutation(n)
+        holdout, train = order[:n_holdout], order[n_holdout:]
+
+        self.teachers_ = []
+        accuracies = []
+        for size in self.teacher_sizes:
+            member = RocketClassifier(n_kernels=size, rng=self._rng)
+            member.fit(X[train], y[train])
+            accuracies.append(member.score(X[holdout], y[holdout]))
+            self.teachers_.append(member)
+        accuracies = np.asarray(accuracies)
+        # Adaptive weighting: softmax over holdout accuracy.
+        logits = (accuracies - accuracies.max()) / 0.05
+        weights = np.exp(logits)
+        self.teacher_weights_ = weights / weights.sum()
+
+        # Refit members on all data for final soft labels.
+        for member in self.teachers_:
+            member.fit(X, y)
+
+    def teacher_proba(self, X):
+        """Weighted soft labels of the teacher ensemble."""
+        total = None
+        for weight, member in zip(self.teacher_weights_, self.teachers_):
+            scores = member.decision_function(X) / self.temperature
+            scores = scores - scores.max(axis=1, keepdims=True)
+            proba = np.exp(scores)
+            proba /= proba.sum(axis=1, keepdims=True)
+            contribution = weight * proba
+            total = contribution if total is None else total + contribution
+        return total
+
+    def teacher_predict(self, X):
+        return self.classes_[np.argmax(self.teacher_proba(X), axis=1)]
+
+    def teacher_score(self, X, y):
+        return float(np.mean(self.teacher_predict(X) == np.asarray(y)))
+
+    @property
+    def teacher_size_bytes(self):
+        """Float32 storage of all teacher members."""
+        return sum(4 * t.n_parameters for t in self.teachers_)
+
+    # -- student -------------------------------------------------------------
+
+    def _fit_student(self, X):
+        soft = self.teacher_proba(X)
+        features = self.student_features_.transform(X)
+        self._student_mean = features.mean(axis=0)
+        self._student_scale = features.std(axis=0)
+        self._student_scale[self._student_scale == 0] = 1.0
+        standardized = (features - self._student_mean) / self._student_scale
+
+        n_features = standardized.shape[1]
+        n_classes = soft.shape[1]
+        weights = np.zeros((n_features, n_classes))
+        intercept = np.zeros(n_classes)
+        n = len(X)
+        # The gradient norm grows with the feature count; scaling the
+        # step keeps training stable for any student size.
+        rate = self.learning_rate / np.sqrt(n_features)
+        for _ in range(self.n_epochs):
+            logits = standardized @ weights + intercept
+            logits -= logits.max(axis=1, keepdims=True)
+            proba = np.exp(logits)
+            proba /= proba.sum(axis=1, keepdims=True)
+            gradient = (proba - soft) / n  # cross-entropy on soft labels
+            weights -= rate * (standardized.T @ gradient)
+            intercept -= rate * gradient.sum(axis=0)
+        self._student_float = (weights, intercept)
+        self.student_ = QuantizedLinear(weights, intercept, self.bits)
+
+    # -- public API -------------------------------------------------------------
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if len(X) != len(y):
+            raise ValueError("X and y must align")
+        self.classes_ = np.unique(y)
+        self.student_features_ = RocketFeatures(self.student_kernels,
+                                                rng=self._rng)
+        self._fit_teacher(X, y)
+        self._fit_student(X)
+        self._fitted = True
+        return self
+
+    def fit_for_budget(self, X, y, budget_bytes):
+        """Fit, then choose the largest bit-width fitting the budget."""
+        self.fit(X, y)
+        weights, intercept = self._student_float
+        for bits in (16, 8, 6, 4, 3, 2):
+            candidate = QuantizedLinear(weights, intercept, bits)
+            if candidate.size_bytes <= budget_bytes:
+                self.bits = bits
+                self.student_ = candidate
+                return self
+        raise ValueError(
+            f"even 2-bit weights exceed the budget of {budget_bytes} bytes"
+        )
+
+    def predict(self, X):
+        """Quantized-student predictions."""
+        if not self._fitted:
+            raise RuntimeError("fit before predict")
+        features = self.student_features_.transform(
+            np.asarray(X, dtype=float))
+        standardized = (features - self._student_mean) / self._student_scale
+        logits = self.student_.predict(standardized)
+        return self.classes_[np.argmax(logits, axis=1)]
+
+    def score(self, X, y):
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    @property
+    def student_size_bytes(self):
+        if not self._fitted:
+            raise RuntimeError("fit before inspecting sizes")
+        return self.student_.size_bytes
+
+    def size_for_bits(self, bits):
+        """Student storage at a hypothetical bit-width."""
+        weights, intercept = self._student_float
+        return model_size_bytes(weights.size, bits) + 4 * intercept.size

@@ -1,0 +1,20 @@
+"""Resource efficiency: quantization, continual calibration (QCore),
+dataset condensation (TimeDC), and knowledge distillation."""
+
+from .condensation import TimeSeriesCondenser
+from .distillation import DistilledForecaster
+from .quantization import (
+    QuantizedLinear,
+    dequantize_array,
+    model_size_bytes,
+    quantize_array,
+)
+
+__all__ = [
+    "DistilledForecaster",
+    "QuantizedLinear",
+    "TimeSeriesCondenser",
+    "dequantize_array",
+    "model_size_bytes",
+    "quantize_array",
+]

@@ -1,0 +1,193 @@
+"""Time-series dataset condensation (TimeDC [49]).
+
+"Less is more": compress a large training set of windows into a much
+smaller synthetic set that trains models almost as well.  TimeDC
+matches the condensed set to the original along two modalities — time-
+domain shapes and frequency-domain spectra.  The reproduction keeps the
+two-fold structure:
+
+1. **initialization** — k-means picks ``n_condensed`` representative
+   windows (shape coverage);
+2. **two-fold refinement** — alternating steps move the synthetic
+   windows to jointly match (a) the per-cluster mean shape in the time
+   domain and (b) the per-cluster spectral envelope (log-band energies)
+   in the frequency domain.  The frequency step restores the
+   high-frequency content that k-means averaging washes out, which is
+   what makes the condensed set train classifiers almost as well as the
+   original.
+
+``evaluate_utility`` measures the paper's headline metric: accuracy of
+a model trained on the condensed set relative to one trained on
+everything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_positive, ensure_rng
+
+__all__ = ["TimeSeriesCondenser"]
+
+
+def _kmeans(windows, k, rng, n_iterations=25):
+    """Plain k-means with k-means++ seeding; returns (centers, labels)."""
+    n = len(windows)
+    centers = [windows[int(rng.integers(0, n))]]
+    for _ in range(k - 1):
+        distances = np.min(
+            [((windows - c) ** 2).sum(axis=1) for c in centers], axis=0
+        )
+        total = distances.sum()
+        if total <= 0:
+            centers.append(windows[int(rng.integers(0, n))])
+            continue
+        probabilities = distances / total
+        centers.append(windows[int(rng.choice(n, p=probabilities))])
+    centers = np.stack(centers)
+    labels = np.zeros(n, dtype=int)
+    for _ in range(n_iterations):
+        distances = ((windows[:, None, :] - centers[None, :, :]) ** 2
+                     ).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        for index in range(k):
+            members = windows[labels == index]
+            if len(members):
+                centers[index] = members.mean(axis=0)
+    return centers, labels
+
+
+class TimeSeriesCondenser:
+    """Two-fold (time + frequency) dataset condensation.
+
+    Parameters
+    ----------
+    n_condensed:
+        Size of the synthetic set.
+    frequency_weight:
+        Relative weight of the spectral-matching term.
+    """
+
+    def __init__(self, n_condensed=20, *, frequency_weight=1.0,
+                 n_iterations=30, learning_rate=0.1, n_bands=8, rng=None):
+        self.n_condensed = int(check_positive(n_condensed, "n_condensed"))
+        self.frequency_weight = float(frequency_weight)
+        self.n_iterations = int(check_positive(n_iterations,
+                                               "n_iterations"))
+        self.learning_rate = float(learning_rate)
+        self.n_bands = int(check_positive(n_bands, "n_bands"))
+        self._rng = ensure_rng(rng)
+        self._fitted = False
+
+    def fit(self, windows):
+        """Condense ``windows`` of shape ``(n, length)``."""
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 2:
+            raise ValueError("windows must be 2-D")
+        if len(windows) <= self.n_condensed:
+            raise ValueError(
+                "condensed size must be smaller than the dataset"
+            )
+        centers, labels = _kmeans(windows, self.n_condensed, self._rng)
+
+        # Frequency-modality targets: per-cluster mean amplitude spectra.
+        # k-means averaging washes out high-frequency content (noise
+        # floor, sharp transitions); the frequency step restores it.
+        length = windows.shape[1]
+        spectra = np.abs(np.fft.rfft(windows, axis=1))
+        n_bins = spectra.shape[1]
+        cluster_spectra = np.stack([
+            spectra[labels == index].mean(axis=0)
+            if (labels == index).any() else spectra.mean(axis=0)
+            for index in range(self.n_condensed)
+        ])
+        band_edges = np.unique(
+            np.geomspace(1, max(n_bins - 1, 2),
+                         self.n_bands + 1).astype(int))
+
+        synthetic = centers.copy()
+        self.losses_ = []
+        for iteration in range(self.n_iterations):
+            # Time-domain step: track the cluster's mean shape.
+            synthetic -= self.learning_rate * 2.0 * (synthetic - centers)
+            # Frequency-domain step: per log-spaced band, rescale each
+            # window's spectral energy toward the cluster target.  Band-
+            # level gains restore the spectral *envelope* without
+            # imposing per-bin structure with incoherent phases.
+            if self.frequency_weight > 0:
+                spectrum = np.fft.rfft(synthetic, axis=1)
+                amplitude = np.abs(spectrum)
+                gains = np.ones_like(amplitude)
+                for low, high in zip(band_edges, band_edges[1:]):
+                    own = np.sqrt((amplitude[:, low:high] ** 2).sum(axis=1))
+                    target = np.sqrt(
+                        (cluster_spectra[:, low:high] ** 2).sum(axis=1))
+                    ratio = np.where(own > 1e-9, target
+                                     / np.maximum(own, 1e-9), 1.0)
+                    step = ratio ** min(1.0, self.frequency_weight)
+                    gains[:, low:high] = step[:, None]
+                synthetic = np.fft.irfft(spectrum * gains, n=length,
+                                         axis=1)
+            time_loss = float(((synthetic - centers) ** 2).mean())
+            amplitude = np.abs(np.fft.rfft(synthetic, axis=1))
+            frequency_loss = float(
+                ((amplitude - cluster_spectra) ** 2).mean()) / length
+            self.losses_.append(time_loss
+                                + self.frequency_weight * frequency_loss)
+        self.synthetic_ = synthetic
+        self._fitted = True
+        return self
+
+    def fit_labeled(self, windows, labels):
+        """Condense a labeled dataset class-by-class.
+
+        ``n_condensed`` windows are produced *per class*.  Returns the
+        synthetic ``(X, y)`` pair ready to train a classifier on
+        (experiment E17's protocol).
+        """
+        windows = np.asarray(windows, dtype=float)
+        labels = np.asarray(labels)
+        if len(windows) != len(labels):
+            raise ValueError("windows and labels must align")
+        synthetic_parts = []
+        synthetic_labels = []
+        for value in np.unique(labels):
+            members = windows[labels == value]
+            condenser = TimeSeriesCondenser(
+                self.n_condensed,
+                frequency_weight=self.frequency_weight,
+                n_iterations=self.n_iterations,
+                learning_rate=self.learning_rate,
+                n_bands=self.n_bands,
+                rng=self._rng,
+            )
+            condenser.fit(members)
+            synthetic_parts.append(condenser.condensed)
+            synthetic_labels.extend([value] * self.n_condensed)
+        return np.vstack(synthetic_parts), np.asarray(synthetic_labels)
+
+    @property
+    def condensed(self):
+        if not self._fitted:
+            raise RuntimeError("fit before reading the condensed set")
+        return self.synthetic_.copy()
+
+    def compression_ratio(self, n_original):
+        return float(n_original) / self.n_condensed
+
+    @staticmethod
+    def evaluate_utility(train_windows, condensed, probe_factory,
+                         test_windows, test_labels, train_labels=None,
+                         condensed_labels=None):
+        """Train a probe on full vs condensed data; return both scores.
+
+        ``probe_factory()`` must return an object with ``fit(X, y)`` and
+        ``score(X, y)``.  For unlabeled settings, pass cluster indices
+        or downstream pseudo-labels.
+        """
+        full = probe_factory()
+        full.fit(train_windows, train_labels)
+        small = probe_factory()
+        small.fit(condensed, condensed_labels)
+        return (full.score(test_windows, test_labels),
+                small.score(test_windows, test_labels))

@@ -1,0 +1,119 @@
+"""Uniform affine weight quantization (LightTS / QCore substrate).
+
+The paper's resource-efficiency line (LightTS [47], QCore [48]) runs
+models on edge devices by storing weights at low bit-widths.  This
+module provides the quantizer those reproductions share:
+
+* :func:`quantize_array` / :func:`dequantize_array` — uniform affine
+  quantization of a float array to ``bits`` bits (symmetric range);
+* :class:`QuantizedLinear` — a linear map stored in quantized form, with
+  the scale factors exposed so QCore-style *continual calibration* can
+  adjust them without touching the integer weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import as_float_array
+
+__all__ = ["quantize_array", "dequantize_array", "QuantizedLinear",
+           "model_size_bytes"]
+
+
+def quantize_array(values, bits):
+    """Quantize to signed integers of the given bit-width.
+
+    Returns ``(codes, scale)`` with ``values ~= codes * scale``.  The
+    scale maps the array's max absolute value to the top code.
+    """
+    if not 2 <= int(bits) <= 32:
+        raise ValueError(f"bits must be in [2, 32], got {bits!r}")
+    bits = int(bits)
+    array = as_float_array(values, "values", allow_empty=False)
+    top = 2 ** (bits - 1) - 1
+    peak = np.abs(array).max()
+    if peak == 0:
+        return np.zeros_like(array, dtype=np.int64), 1.0
+    scale = peak / top
+    codes = np.clip(np.round(array / scale), -top - 1, top)
+    return codes.astype(np.int64), float(scale)
+
+
+def dequantize_array(codes, scale):
+    """Reconstruct floats from ``(codes, scale)``."""
+    return np.asarray(codes, dtype=float) * float(scale)
+
+
+def model_size_bytes(n_parameters, bits):
+    """Storage for ``n_parameters`` weights at ``bits`` bits (plus one
+    float32 scale)."""
+    return int(np.ceil(n_parameters * bits / 8)) + 4
+
+
+class QuantizedLinear:
+    """A linear layer ``y = x W + b`` stored at low precision.
+
+    ``W`` is quantized per *column* (one scale per output), which keeps
+    the quantization error of each output independent — and gives QCore
+    a per-output calibration knob.
+    """
+
+    def __init__(self, weights, intercept, bits):
+        weights = as_float_array(weights, "weights", ndim=2)
+        intercept = as_float_array(intercept, "intercept", ndim=1)
+        if intercept.shape[0] != weights.shape[1]:
+            raise ValueError("intercept must have one entry per output")
+        self.bits = int(bits)
+        self.codes = np.zeros(weights.shape, dtype=np.int64)
+        self.scales = np.zeros(weights.shape[1])
+        for column in range(weights.shape[1]):
+            codes, scale = quantize_array(weights[:, column], bits)
+            self.codes[:, column] = codes
+            self.scales[column] = scale
+        self.intercept = intercept.copy()
+
+    @property
+    def weights(self):
+        """The dequantized weight matrix."""
+        return self.codes.astype(float) * self.scales[None, :]
+
+    @property
+    def size_bytes(self):
+        """Storage: integer codes + one float scale per column + bias."""
+        weight_bytes = int(np.ceil(self.codes.size * self.bits / 8))
+        return weight_bytes + 4 * len(self.scales) + 4 * len(self.intercept)
+
+    def predict(self, inputs):
+        inputs = np.asarray(inputs, dtype=float)
+        return inputs @ self.weights + self.intercept
+
+    def calibrate(self, inputs, targets, *, learning_rate=0.1,
+                  n_iterations=50):
+        """QCore-style continual calibration [48].
+
+        Adjusts only the per-column ``scales`` and the ``intercept`` (a
+        handful of floats) to fit recent ``(inputs, targets)`` pairs by
+        gradient descent, leaving the integer codes untouched — exactly
+        the cheap on-device update QCore performs when the data
+        distribution shifts.
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if targets.ndim == 1:
+            targets = targets[:, None]
+        if inputs.shape[0] != targets.shape[0]:
+            raise ValueError("inputs and targets must align")
+        n = inputs.shape[0]
+        base = inputs @ self.codes.astype(float)  # (n, outputs)
+        for _ in range(int(n_iterations)):
+            predicted = base * self.scales[None, :] + self.intercept
+            error = predicted - targets
+            gradient_scale = 2.0 * (error * base).mean(axis=0)
+            gradient_bias = 2.0 * error.mean(axis=0)
+            # Normalize the scale gradient so the step size is stable
+            # across feature magnitudes.
+            norm = np.abs(base).mean(axis=0) ** 2 + 1e-12
+            self.scales -= learning_rate * gradient_scale / norm
+            self.intercept -= learning_rate * gradient_bias
+        return self

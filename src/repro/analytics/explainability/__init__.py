@@ -1,0 +1,15 @@
+"""Explainability: post-hoc localization metrics, feature importance,
+interpretable surrogates, and temporal association graphs."""
+
+from .associations import granger_matrix, lagged_correlation_graph
+from .importance import SparseSurrogate, permutation_importance
+from .posthoc import explanation_accuracy, inject_channel_anomalies
+
+__all__ = [
+    "SparseSurrogate",
+    "explanation_accuracy",
+    "granger_matrix",
+    "inject_channel_anomalies",
+    "lagged_correlation_graph",
+    "permutation_importance",
+]

@@ -1,0 +1,112 @@
+"""Temporal associations among time series [44, 45, 46].
+
+The paper's third explainability device: "tracking temporal
+associations among time series and employing causal models to predict
+future correlations".  Two classical instruments:
+
+* :func:`lagged_correlation_graph` — for every sensor pair, the lag
+  and strength of their maximal cross-correlation: which sensor *leads*
+  which, and by how much;
+* :func:`granger_matrix` — predictive (Granger-style) influence: how
+  much sensor ``j``'s lags improve the autoregressive prediction of
+  sensor ``i``, yielding a directed influence graph that explains *what
+  drives what* in a correlated collection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_positive
+from ...datatypes import CorrelatedTimeSeries
+from ..forecasting.linear import ridge_fit
+
+__all__ = ["lagged_correlation_graph", "granger_matrix"]
+
+
+def _cross_correlation(a, b, lag):
+    """Correlation of a[t] with b[t + lag] (positive lag: a leads b)."""
+    if lag > 0:
+        a, b = a[:-lag], b[lag:]
+    elif lag < 0:
+        a, b = a[-lag:], b[:lag]
+    if len(a) < 3 or a.std() == 0 or b.std() == 0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def lagged_correlation_graph(dataset, max_lag=6):
+    """Strongest cross-correlation and its lag for every sensor pair.
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        ``strength[i, j]`` — the maximal absolute cross-correlation of
+        sensors i and j over lags in ``[-max_lag, max_lag]``, and
+        ``lead[i, j]`` — the lag achieving it (positive: i leads j).
+        Diagonals are zero.
+    """
+    if not isinstance(dataset, CorrelatedTimeSeries):
+        raise TypeError("dataset must be a CorrelatedTimeSeries")
+    check_positive(max_lag, "max_lag")
+    max_lag = int(max_lag)
+    values = dataset.values
+    n = dataset.n_sensors
+    strength = np.zeros((n, n))
+    lead = np.zeros((n, n), dtype=int)
+    lags = range(-max_lag, max_lag + 1)
+    for i in range(n):
+        for j in range(i + 1, n):
+            best, best_lag = 0.0, 0
+            for lag in lags:
+                rho = abs(_cross_correlation(values[:, i], values[:, j],
+                                             lag))
+                if rho > best:
+                    best, best_lag = rho, lag
+            strength[i, j] = strength[j, i] = best
+            lead[i, j] = best_lag
+            lead[j, i] = -best_lag
+    return strength, lead
+
+
+def granger_matrix(dataset, n_lags=4, *, alpha=1.0):
+    """Directed predictive-influence matrix.
+
+    ``influence[j, i]`` is the relative reduction in sensor ``i``'s
+    one-step prediction error when sensor ``j``'s lags are added to
+    ``i``'s own lags (clipped at zero).  Rows that matter are
+    "explanations": sensor j materially drives sensor i.
+    """
+    if not isinstance(dataset, CorrelatedTimeSeries):
+        raise TypeError("dataset must be a CorrelatedTimeSeries")
+    check_positive(n_lags, "n_lags")
+    n_lags = int(n_lags)
+    values = dataset.values
+    n_steps, n_sensors = values.shape
+    if n_steps <= 2 * n_lags + 2:
+        raise ValueError("series too short for the chosen n_lags")
+
+    def lag_block(column):
+        return np.stack([
+            values[n_lags - lag - 1:n_steps - lag - 1, column]
+            for lag in range(n_lags)
+        ], axis=1)
+
+    influence = np.zeros((n_sensors, n_sensors))
+    for i in range(n_sensors):
+        own = lag_block(i)
+        target = values[n_lags:, i][:, None]
+        weights, intercept = ridge_fit(own, target, alpha)
+        base_error = float(
+            ((own @ weights + intercept - target) ** 2).mean())
+        if base_error == 0:
+            continue
+        for j in range(n_sensors):
+            if i == j:
+                continue
+            joint = np.hstack([own, lag_block(j)])
+            weights, intercept = ridge_fit(joint, target, alpha)
+            joint_error = float(
+                ((joint @ weights + intercept - target) ** 2).mean())
+            influence[j, i] = max(0.0, 1.0 - joint_error / base_error)
+    return influence

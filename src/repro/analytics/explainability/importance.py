@@ -1,0 +1,141 @@
+"""Feature importance and interpretable surrogates [43].
+
+The second explainability device of §II-C: "leverage neural networks
+for feature extraction and integrate extracted features with
+interpretable models".
+
+* :func:`permutation_importance` — model-agnostic: shuffle one input
+  column at a time and measure how much the model's error grows;
+* :class:`SparseSurrogate` — a sparse linear model (iterative hard
+  thresholding on top of ridge) fit to *mimic a black-box model's
+  predictions*; its ``fidelity`` (R² against the black box) quantifies
+  how faithfully the interpretable view represents the model, and its
+  few non-zero coefficients are the explanation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import as_float_array, check_positive, ensure_rng
+from ..forecasting.linear import ridge_fit
+
+__all__ = ["permutation_importance", "SparseSurrogate"]
+
+
+def permutation_importance(predict, X, y, *, metric=None, n_repeats=3,
+                           rng=None):
+    """Per-column importance of inputs to a fitted predictor.
+
+    Parameters
+    ----------
+    predict:
+        Callable mapping an ``(n, d)`` array to predictions.
+    X / y:
+        Validation inputs and targets.
+    metric:
+        ``metric(y_true, y_pred) -> float`` (lower better); defaults to
+        MAE.
+    n_repeats:
+        Shuffles per column (averaged).
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(d,)``: mean metric increase when the column is
+        destroyed.  Near-zero means the model ignores the feature.
+    """
+    from ..metrics import mae
+
+    if metric is None:
+        metric = mae
+    X = as_float_array(X, "X", ndim=2)
+    y = np.asarray(y, dtype=float)
+    rng = ensure_rng(rng)
+    baseline = metric(y, predict(X))
+    importances = np.zeros(X.shape[1])
+    for column in range(X.shape[1]):
+        increases = []
+        for _ in range(int(n_repeats)):
+            shuffled = X.copy()
+            shuffled[:, column] = rng.permutation(shuffled[:, column])
+            increases.append(metric(y, predict(shuffled)) - baseline)
+        importances[column] = float(np.mean(increases))
+    return importances
+
+
+class SparseSurrogate:
+    """Sparse linear mimic of a black-box predictor.
+
+    Parameters
+    ----------
+    n_features:
+        Number of non-zero coefficients to keep.
+    """
+
+    def __init__(self, n_features=5, *, alpha=1.0, n_iterations=10):
+        self.n_features = int(check_positive(n_features, "n_features"))
+        self.alpha = float(alpha)
+        self.n_iterations = int(n_iterations)
+        self._fitted = False
+
+    def fit(self, X, black_box_predictions):
+        """Fit the surrogate to the *model's* outputs, not the truth."""
+        X = as_float_array(X, "X", ndim=2)
+        targets = np.asarray(black_box_predictions, dtype=float).ravel()
+        if len(X) != len(targets):
+            raise ValueError("X and predictions must align")
+        self._mean = X.mean(axis=0)
+        self._scale = X.std(axis=0)
+        self._scale[self._scale == 0] = 1.0
+        z = (X - self._mean) / self._scale
+
+        support = np.arange(X.shape[1])
+        keep = min(self.n_features, X.shape[1])
+        for _ in range(self.n_iterations):
+            weights, intercept = ridge_fit(z[:, support],
+                                           targets[:, None], self.alpha)
+            magnitudes = np.abs(weights[:, 0])
+            order = np.argsort(-magnitudes)[:keep]
+            new_support = np.sort(support[order])
+            if np.array_equal(new_support, support):
+                support = new_support
+                break
+            support = new_support
+        weights, intercept = ridge_fit(z[:, support], targets[:, None],
+                                       self.alpha)
+        self.support_ = support
+        self.coefficients_ = weights[:, 0]
+        self.intercept_ = float(intercept[0])
+        self._targets = targets
+        self._fitted = True
+        return self
+
+    def predict(self, X):
+        if not self._fitted:
+            raise RuntimeError("fit before predict")
+        X = as_float_array(X, "X", ndim=2)
+        z = (X - self._mean) / self._scale
+        return z[:, self.support_] @ self.coefficients_ + self.intercept_
+
+    def fidelity(self, X, black_box_predictions):
+        """R² of the surrogate against the black box (1 = faithful)."""
+        predictions = self.predict(X)
+        targets = np.asarray(black_box_predictions, dtype=float).ravel()
+        total = ((targets - targets.mean()) ** 2).sum()
+        if total == 0:
+            return 1.0
+        residual = ((targets - predictions) ** 2).sum()
+        return float(1.0 - residual / total)
+
+    def explanation(self, feature_names=None):
+        """The surrogate as ``[(name, coefficient), ...]``, largest first."""
+        if not self._fitted:
+            raise RuntimeError("fit before explaining")
+        if feature_names is None:
+            feature_names = [f"x{i}" for i in range(len(self._mean))]
+        pairs = [
+            (feature_names[index], float(coefficient))
+            for index, coefficient in zip(self.support_, self.coefficients_)
+        ]
+        return sorted(pairs, key=lambda pair: -abs(pair[1]))

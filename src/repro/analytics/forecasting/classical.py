@@ -1,0 +1,184 @@
+"""Classical statistical forecasters.
+
+The hand-crafted baselines the paper's automated methods (§II-C,
+"Automation") are compared against, and the reference points of every
+forecasting experiment: naive carriers, drift extrapolation, and the
+exponential-smoothing family up to Holt-Winters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_fraction, check_positive
+from .base import Forecaster
+
+__all__ = [
+    "NaiveForecaster",
+    "SeasonalNaiveForecaster",
+    "DriftForecaster",
+    "SimpleExponentialSmoothing",
+    "HoltForecaster",
+    "HoltWintersForecaster",
+]
+
+
+class NaiveForecaster(Forecaster):
+    """Repeat the last observed value (the "persistence" baseline)."""
+
+    def fit(self, series):
+        series = self._validate_series(series)
+        self._last = series.values[-1]
+        self._fitted = True
+        return self
+
+    def predict(self, horizon):
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        return np.tile(self._last, (horizon, 1))
+
+
+class SeasonalNaiveForecaster(Forecaster):
+    """Repeat the value from one season ago."""
+
+    def __init__(self, period):
+        self.period = int(check_positive(period, "period"))
+
+    def fit(self, series):
+        series = self._validate_series(series)
+        if len(series) < self.period:
+            raise ValueError(
+                f"need at least one full period ({self.period}) of data"
+            )
+        self._season = series.values[-self.period:]
+        self._fitted = True
+        return self
+
+    def predict(self, horizon):
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        indices = np.arange(horizon) % self.period
+        return self._season[indices]
+
+
+class DriftForecaster(Forecaster):
+    """Extrapolate the straight line between first and last observation."""
+
+    def fit(self, series):
+        series = self._validate_series(series)
+        values = series.values
+        self._last = values[-1]
+        if len(values) > 1:
+            self._slope = (values[-1] - values[0]) / (len(values) - 1)
+        else:
+            self._slope = np.zeros_like(values[-1])
+        self._fitted = True
+        return self
+
+    def predict(self, horizon):
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        steps = np.arange(1, horizon + 1)[:, None]
+        return self._last[None, :] + steps * self._slope[None, :]
+
+
+class SimpleExponentialSmoothing(Forecaster):
+    """Level-only exponential smoothing (flat forecasts)."""
+
+    def __init__(self, alpha=0.3):
+        self.alpha = check_fraction(alpha, "alpha", inclusive_low=False)
+
+    def fit(self, series):
+        series = self._validate_series(series)
+        values = series.values
+        level = values[0].copy()
+        for row in values[1:]:
+            level = self.alpha * row + (1 - self.alpha) * level
+        self._level = level
+        self._fitted = True
+        return self
+
+    def predict(self, horizon):
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        return np.tile(self._level, (horizon, 1))
+
+
+class HoltForecaster(Forecaster):
+    """Holt's linear trend method (level + trend smoothing)."""
+
+    def __init__(self, alpha=0.3, beta=0.1):
+        self.alpha = check_fraction(alpha, "alpha", inclusive_low=False)
+        self.beta = check_fraction(beta, "beta", inclusive_low=False)
+
+    def fit(self, series):
+        series = self._validate_series(series)
+        values = series.values
+        if len(values) < 2:
+            raise ValueError("Holt needs at least two observations")
+        level = values[0].copy()
+        trend = values[1] - values[0]
+        for row in values[1:]:
+            previous_level = level
+            level = self.alpha * row + (1 - self.alpha) * (level + trend)
+            trend = (self.beta * (level - previous_level)
+                     + (1 - self.beta) * trend)
+        self._level, self._trend = level, trend
+        self._fitted = True
+        return self
+
+    def predict(self, horizon):
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        steps = np.arange(1, horizon + 1)[:, None]
+        return self._level[None, :] + steps * self._trend[None, :]
+
+
+class HoltWintersForecaster(Forecaster):
+    """Additive Holt-Winters: level, trend and seasonal components."""
+
+    def __init__(self, period, alpha=0.3, beta=0.05, gamma=0.2):
+        self.period = int(check_positive(period, "period"))
+        self.alpha = check_fraction(alpha, "alpha", inclusive_low=False)
+        self.beta = check_fraction(beta, "beta", inclusive_low=False)
+        self.gamma = check_fraction(gamma, "gamma", inclusive_low=False)
+
+    def fit(self, series):
+        series = self._validate_series(series)
+        values = series.values
+        period = self.period
+        if len(values) < 2 * period:
+            raise ValueError(
+                f"need at least two periods ({2 * period}) of data"
+            )
+        # Initialization: first-period mean level, per-phase offsets.
+        level = values[:period].mean(axis=0)
+        trend = (values[period:2 * period].mean(axis=0) - level) / period
+        seasonal = values[:period] - level
+
+        for index in range(period, len(values)):
+            row = values[index]
+            phase = index % period
+            previous_level = level
+            level = (self.alpha * (row - seasonal[phase])
+                     + (1 - self.alpha) * (level + trend))
+            trend = (self.beta * (level - previous_level)
+                     + (1 - self.beta) * trend)
+            seasonal[phase] = (self.gamma * (row - level)
+                               + (1 - self.gamma) * seasonal[phase])
+        self._level, self._trend = level, trend
+        self._seasonal = seasonal
+        self._n_seen = len(values)
+        self._fitted = True
+        return self
+
+    def predict(self, horizon):
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        forecasts = np.zeros((horizon, self._level.shape[0]))
+        for step in range(1, horizon + 1):
+            phase = (self._n_seen + step - 1) % self.period
+            forecasts[step - 1] = (
+                self._level + step * self._trend + self._seasonal[phase]
+            )
+        return forecasts

@@ -1,0 +1,102 @@
+"""Direct multi-horizon forecasting.
+
+The recursive strategy (every other forecaster here) feeds its own
+predictions back as inputs, which compounds one-step errors over long
+horizons.  The **direct** strategy fits one regression *per lead time*:
+lead-``h``'s model maps today's lags straight to the value ``h`` steps
+ahead, so no prediction is ever fed back.
+
+The trade-off is classical (and ablated in
+``benchmarks/bench_a04_direct_vs_recursive.py``): direct models avoid
+error feedback on long horizons but each lead sees fewer effective
+training pairs and no cross-lead coherence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_non_negative, check_positive
+from .base import Forecaster
+from .linear import ridge_fit
+
+__all__ = ["DirectForecaster"]
+
+
+class DirectForecaster(Forecaster):
+    """One ridge regression per lead time (direct strategy).
+
+    Parameters
+    ----------
+    n_lags:
+        Input window length.
+    horizon:
+        Maximum lead time trained for; ``predict`` may ask for any
+        horizon up to this.
+    alpha:
+        Ridge strength.
+    seasonal_period:
+        Optional seasonal lag appended to the inputs.
+    """
+
+    def __init__(self, n_lags=12, horizon=24, alpha=1.0,
+                 seasonal_period=None):
+        self.n_lags = int(check_positive(n_lags, "n_lags"))
+        self.horizon = int(check_positive(horizon, "horizon"))
+        self.alpha = float(check_non_negative(alpha, "alpha"))
+        self.seasonal_period = (
+            int(check_positive(seasonal_period, "seasonal_period"))
+            if seasonal_period is not None else None
+        )
+
+    def _features_for(self, history, position):
+        recent = history[position - self.n_lags:position][::-1]
+        parts = [recent.ravel()]
+        if self.seasonal_period is not None:
+            parts.append(history[position - self.seasonal_period].ravel())
+        return np.concatenate(parts)
+
+    def fit(self, series):
+        series = self._validate_series(series)
+        values = series.values
+        needed = self.n_lags
+        if self.seasonal_period is not None:
+            needed = max(needed, self.seasonal_period)
+        if len(values) <= needed + self.horizon + 1:
+            raise ValueError(
+                f"series of length {len(values)} too short for horizon "
+                f"{self.horizon} with {needed} lags"
+            )
+        origins = range(needed, len(values) - self.horizon)
+        features = np.stack([
+            self._features_for(values, origin) for origin in origins
+        ])
+        self._models = []
+        for lead in range(1, self.horizon + 1):
+            targets = np.stack([
+                values[origin + lead - 1] for origin in origins
+            ])
+            self._models.append(ridge_fit(features, targets, self.alpha))
+        self._history = values.copy()
+        self._fitted = True
+        return self
+
+    def predict(self, horizon):
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        if horizon > self.horizon:
+            raise ValueError(
+                f"asked for horizon {horizon} but trained up to "
+                f"{self.horizon}"
+            )
+        features = self._features_for(self._history, len(self._history))
+        forecasts = np.zeros((horizon, self._history.shape[1]))
+        for lead in range(horizon):
+            weights, intercept = self._models[lead]
+            forecasts[lead] = features @ weights + intercept
+        return forecasts
+
+    @property
+    def n_parameters(self):
+        self._check_fitted()
+        return int(sum(w.size + b.size for w, b in self._models))

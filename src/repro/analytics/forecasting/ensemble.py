@@ -1,0 +1,106 @@
+"""Forecast combination.
+
+Ensemble strategies appear twice in the paper: as a robustness device
+("ensemble learning strategies ... adaptively selecting and combining
+multiple scales" [41, 42]) and inside the automated-search toolbox.
+:class:`EnsembleForecaster` combines heterogeneous member forecasters
+with equal, inverse-error, or softmax validation weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_fraction
+from ..metrics import mae
+from .base import Forecaster
+
+__all__ = ["EnsembleForecaster"]
+
+
+class EnsembleForecaster(Forecaster):
+    """Weighted combination of member forecasters.
+
+    Parameters
+    ----------
+    members:
+        A list of *unfitted* forecasters.
+    weighting:
+        ``"uniform"``, ``"inverse_error"`` or ``"softmax"``.  The latter
+        two hold out the tail of the training series, score each member
+        on it, and weight accordingly — the "adaptive selection" the
+        paper attributes to ensemble methods.
+    holdout_fraction:
+        Share of the training series used for validation weighting.
+    """
+
+    _WEIGHTINGS = ("uniform", "inverse_error", "softmax")
+
+    def __init__(self, members, weighting="inverse_error",
+                 holdout_fraction=0.2):
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        if weighting not in self._WEIGHTINGS:
+            raise ValueError(
+                f"weighting must be one of {self._WEIGHTINGS}, "
+                f"got {weighting!r}"
+            )
+        self.members = list(members)
+        self.weighting = weighting
+        self.holdout_fraction = check_fraction(
+            holdout_fraction, "holdout_fraction",
+            inclusive_low=False, inclusive_high=False,
+        )
+
+    def fit(self, series):
+        series = self._validate_series(series)
+        if self.weighting == "uniform" or len(self.members) == 1:
+            self.weights_ = np.full(len(self.members),
+                                    1.0 / len(self.members))
+        else:
+            train, holdout = series.split(1.0 - self.holdout_fraction)
+            errors = []
+            for member in self.members:
+                try:
+                    predicted = member.forecast(train, len(holdout))
+                    errors.append(mae(holdout.values, predicted))
+                except (ValueError, RuntimeError):
+                    errors.append(np.inf)  # member unusable on this data
+            errors = np.asarray(errors)
+            if np.isinf(errors).all():
+                raise ValueError("no ensemble member could fit the data")
+            if self.weighting == "inverse_error":
+                inverse = np.where(np.isinf(errors), 0.0,
+                                   1.0 / np.maximum(errors, 1e-12))
+                self.weights_ = inverse / inverse.sum()
+            else:  # softmax over negative normalized errors
+                finite = errors[~np.isinf(errors)]
+                scale = finite.std() if finite.std() > 0 else 1.0
+                logits = np.where(np.isinf(errors), -np.inf,
+                                  -errors / scale)
+                logits -= logits[~np.isinf(logits)].max()
+                weights = np.exp(logits)
+                self.weights_ = weights / weights.sum()
+
+        # Refit every usable member on the full series.
+        self._usable = []
+        for index, member in enumerate(self.members):
+            if self.weights_[index] <= 0:
+                continue
+            member.fit(series)
+            self._usable.append(index)
+        self._fitted = True
+        return self
+
+    def predict(self, horizon):
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        total = None
+        weight_sum = 0.0
+        for index in self._usable:
+            prediction = np.asarray(self.members[index].predict(horizon),
+                                    dtype=float)
+            weighted = self.weights_[index] * prediction
+            total = weighted if total is None else total + weighted
+            weight_sum += self.weights_[index]
+        return total / weight_sum

@@ -1,0 +1,270 @@
+"""Linear autoregressive forecasters (ridge-regularized least squares).
+
+The workhorse models of the analytics layer: fast, deterministic, and
+strong on the synthetic workloads.  They also serve as the *search
+space ingredients* of the automation experiments (lag order, ridge
+strength, seasonal features are exactly the hyperparameters AutoCTS-style
+search tunes).
+
+* :class:`ARForecaster` — per-channel autoregression on ``n_lags`` own
+  lags (plus optional seasonal lag and time features);
+* :class:`VARForecaster` — vector autoregression: every channel
+  regresses on the lags of *all* channels;
+* :class:`ExogenousForecaster` — ARX: target channels regress on their
+  own lags plus aligned exogenous covariates (the fusion experiments'
+  consumer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_non_negative, check_positive
+from .base import Forecaster
+
+__all__ = ["ARForecaster", "VARForecaster", "ExogenousForecaster",
+           "ridge_fit"]
+
+
+def ridge_fit(features, targets, alpha):
+    """Closed-form ridge regression with intercept.
+
+    Returns ``(weights, intercept)`` with ``weights`` of shape
+    ``(n_features, n_targets)``.
+    """
+    features = np.asarray(features, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if targets.ndim == 1:
+        targets = targets[:, None]
+    mean_x = features.mean(axis=0)
+    mean_y = targets.mean(axis=0)
+    xc = features - mean_x
+    yc = targets - mean_y
+    gram = xc.T @ xc + alpha * np.eye(features.shape[1])
+    weights = np.linalg.solve(gram, xc.T @ yc)
+    intercept = mean_y - mean_x @ weights
+    return weights, intercept
+
+
+def _lag_matrix(values, n_lags):
+    """Design matrix of shape ``(M - n_lags, n_lags * C)`` plus targets.
+
+    Row ``t`` holds ``[x_{t+n_lags-1}, ..., x_t]`` flattened channel-major
+    (most recent lag first).
+    """
+    n_rows, n_cols = values.shape
+    if n_rows <= n_lags:
+        raise ValueError(
+            f"series of length {n_rows} too short for {n_lags} lags"
+        )
+    windows = np.stack([
+        values[n_lags - lag - 1:n_rows - lag - 1]
+        for lag in range(n_lags)
+    ], axis=1)  # (samples, n_lags, C), lag 0 = most recent
+    features = windows.reshape(windows.shape[0], -1)
+    targets = values[n_lags:]
+    return features, targets
+
+
+class ARForecaster(Forecaster):
+    """Per-channel autoregression with ridge regularization.
+
+    Parameters
+    ----------
+    n_lags:
+        Autoregressive order.
+    alpha:
+        Ridge strength.
+    seasonal_period:
+        When given, the value one period back is appended as an extra
+        regressor (a cheap seasonal term).
+    """
+
+    def __init__(self, n_lags=8, alpha=1.0, seasonal_period=None):
+        self.n_lags = int(check_positive(n_lags, "n_lags"))
+        self.alpha = float(check_non_negative(alpha, "alpha"))
+        self.seasonal_period = (
+            int(check_positive(seasonal_period, "seasonal_period"))
+            if seasonal_period is not None else None
+        )
+
+    def _features_for(self, history, position):
+        """Regressors to predict the value at ``position`` of ``history``."""
+        recent = history[position - self.n_lags:position][::-1]
+        parts = [recent.ravel()]
+        if self.seasonal_period is not None:
+            seasonal_position = position - self.seasonal_period
+            parts.append(history[seasonal_position].ravel())
+        return np.concatenate(parts)
+
+    def fit(self, series):
+        series = self._validate_series(series)
+        values = series.values
+        needed = self.n_lags
+        if self.seasonal_period is not None:
+            needed = max(needed, self.seasonal_period)
+        if len(values) <= needed + 1:
+            raise ValueError(
+                f"series of length {len(values)} too short "
+                f"(needs > {needed + 1})"
+            )
+        rows = range(needed, len(values))
+        features = np.stack([self._features_for(values, r) for r in rows])
+        targets = values[needed:]
+        self._weights, self._intercept = ridge_fit(features, targets,
+                                                   self.alpha)
+        self._history = values.copy()
+        self._fitted = True
+        return self
+
+    def predict(self, horizon):
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        history = self._history
+        forecasts = np.zeros((horizon, history.shape[1]))
+        extended = history
+        for step in range(horizon):
+            features = self._features_for(extended, len(extended))
+            prediction = features @ self._weights + self._intercept
+            forecasts[step] = prediction
+            extended = np.vstack([extended, prediction])
+        return forecasts
+
+    def predict_from(self, history, horizon):
+        """Forecast with the *fitted weights* but a caller-supplied
+        history.
+
+        The continual-learning evaluation needs this: it measures what
+        the current parameters know about an *old* regime by feeding
+        that regime's recent window as context, without refitting.
+        """
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        extended = np.asarray(history, dtype=float)
+        if extended.ndim == 1:
+            extended = extended[:, None]
+        needed = self.n_lags
+        if self.seasonal_period is not None:
+            needed = max(needed, self.seasonal_period)
+        if len(extended) < needed:
+            raise ValueError(
+                f"history must cover at least {needed} steps"
+            )
+        forecasts = np.zeros((horizon, extended.shape[1]))
+        for step in range(horizon):
+            features = self._features_for(extended, len(extended))
+            prediction = features @ self._weights + self._intercept
+            forecasts[step] = prediction
+            extended = np.vstack([extended, prediction])
+        return forecasts
+
+    @property
+    def n_parameters(self):
+        """Number of learned coefficients (used by size-constrained NAS)."""
+        self._check_fitted()
+        return int(self._weights.size + self._intercept.size)
+
+
+class VARForecaster(Forecaster):
+    """Vector autoregression: channels predict each other jointly."""
+
+    def __init__(self, n_lags=4, alpha=1.0):
+        self.n_lags = int(check_positive(n_lags, "n_lags"))
+        self.alpha = float(check_non_negative(alpha, "alpha"))
+
+    def fit(self, series):
+        series = self._validate_series(series)
+        values = series.values
+        features, targets = _lag_matrix(values, self.n_lags)
+        self._weights, self._intercept = ridge_fit(features, targets,
+                                                   self.alpha)
+        self._history = values.copy()
+        self._fitted = True
+        return self
+
+    def predict(self, horizon):
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        extended = self._history
+        forecasts = np.zeros((horizon, extended.shape[1]))
+        for step in range(horizon):
+            recent = extended[-self.n_lags:][::-1].ravel()
+            prediction = recent @ self._weights + self._intercept
+            forecasts[step] = prediction
+            extended = np.vstack([extended, prediction])
+        return forecasts
+
+
+class ExogenousForecaster(Forecaster):
+    """ARX: autoregression plus exogenous covariates (fusion consumer).
+
+    The fused covariates (weather, POI intensity, calendar encodings)
+    enter as *contemporaneous-lag* regressors: the covariate values at
+    the ``n_lags`` most recent steps.  During multi-step prediction the
+    future covariates must be supplied (they are known inputs: weather
+    forecasts, fixed POI maps, the calendar).
+
+    Parameters
+    ----------
+    target_channels:
+        Indices of the channels to forecast; the rest are covariates.
+    """
+
+    def __init__(self, target_channels, n_lags=8, alpha=1.0):
+        if not target_channels:
+            raise ValueError("target_channels must not be empty")
+        self.target_channels = list(target_channels)
+        self.n_lags = int(check_positive(n_lags, "n_lags"))
+        self.alpha = float(check_non_negative(alpha, "alpha"))
+
+    def fit(self, series):
+        series = self._validate_series(series)
+        values = series.values
+        for channel in self.target_channels:
+            if not 0 <= channel < values.shape[1]:
+                raise ValueError(f"target channel {channel} out of range")
+        features, all_targets = _lag_matrix(values, self.n_lags)
+        targets = all_targets[:, self.target_channels]
+        self._weights, self._intercept = ridge_fit(features, targets,
+                                                   self.alpha)
+        self._history = values.copy()
+        self._fitted = True
+        return self
+
+    def predict(self, horizon, future_covariates=None):
+        """Forecast the target channels.
+
+        Parameters
+        ----------
+        horizon:
+            Steps ahead.
+        future_covariates:
+            Array ``(horizon, C)`` supplying the non-target channels for
+            the forecast window (target columns are ignored).  Without
+            it, covariates are frozen at their last observed values.
+        """
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        n_channels = self._history.shape[1]
+        if future_covariates is not None:
+            future_covariates = np.asarray(future_covariates, dtype=float)
+            if future_covariates.shape != (horizon, n_channels):
+                raise ValueError(
+                    f"future_covariates must have shape "
+                    f"({horizon}, {n_channels})"
+                )
+        extended = self._history
+        forecasts = np.zeros((horizon, len(self.target_channels)))
+        for step in range(horizon):
+            recent = extended[-self.n_lags:][::-1].ravel()
+            prediction = recent @ self._weights + self._intercept
+            forecasts[step] = prediction
+            next_row = (future_covariates[step].copy()
+                        if future_covariates is not None
+                        else extended[-1].copy())
+            next_row[self.target_channels] = prediction
+            extended = np.vstack([extended, next_row])
+        return forecasts
+
+    def forecast(self, series, horizon, future_covariates=None):
+        return self.fit(series).predict(horizon, future_covariates)

@@ -1,0 +1,226 @@
+"""Probabilistic forecasters: distributions instead of points.
+
+Decision making under uncertainty (paper §II-D) needs *predictive
+distributions* — "spatio-temporal analysis methods, such as predictive
+models, inherently capture uncertainty, typically using confidence
+intervals and probability distributions".  Two complementary providers:
+
+* :class:`GaussianForecaster` — an AR point forecast plus an empirical
+  residual model, yielding a :class:`Histogram` per step whose spread
+  grows with the horizon (residuals are convolved);
+* :class:`QuantileForecaster` — direct quantile regression on lag
+  features (pinball-loss subgradient descent), yielding calibrated
+  quantile bands without a distributional assumption.
+
+Both power the autoscaling decision layer (E23) and the CRPS columns of
+the benchmarking harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_non_negative, check_positive, ensure_rng
+from ...governance.uncertainty import Histogram
+from .base import Forecaster
+from .linear import ridge_fit
+
+__all__ = ["GaussianForecaster", "QuantileForecaster"]
+
+
+class GaussianForecaster(Forecaster):
+    """AR point forecasts with an empirical residual distribution.
+
+    ``predict_distribution(horizon)`` returns one :class:`Histogram` per
+    step; step ``h``'s distribution is the point forecast shifted by the
+    ``h``-fold convolution of the one-step residual histogram, so
+    uncertainty compounds with lead time the way it does for real
+    iterated forecasts.
+
+    Only univariate targets are supported (channel 0 of the series).
+    """
+
+    def __init__(self, n_lags=12, alpha=1.0, n_bins=30,
+                 seasonal_period=None):
+        self.n_lags = int(check_positive(n_lags, "n_lags"))
+        self.alpha = float(check_non_negative(alpha, "alpha"))
+        self.n_bins = int(check_positive(n_bins, "n_bins"))
+        self.seasonal_period = seasonal_period
+
+    def fit(self, series):
+        from .linear import ARForecaster
+
+        series = self._validate_series(series)
+        self._inner = ARForecaster(
+            n_lags=self.n_lags, alpha=self.alpha,
+            seasonal_period=self.seasonal_period,
+        ).fit(series)
+        # One-step in-sample residuals for channel 0.
+        values = series.values[:, 0]
+        needed = self.n_lags
+        if self.seasonal_period is not None:
+            needed = max(needed, int(self.seasonal_period))
+        history = series.values
+        residuals = []
+        for position in range(needed, len(values)):
+            features = self._inner._features_for(history, position)
+            predicted = (features @ self._inner._weights
+                         + self._inner._intercept)[0]
+            residuals.append(values[position] - predicted)
+        residuals = np.asarray(residuals)
+        spread = residuals.std()
+        bounds = None
+        if spread == 0:
+            bounds = (residuals[0] - 1e-6, residuals[0] + 1e-6)
+        self._residual = Histogram.from_samples(residuals,
+                                                n_bins=self.n_bins,
+                                                bounds=bounds)
+        self._fitted = True
+        return self
+
+    def predict(self, horizon):
+        self._check_fitted()
+        return self._inner.predict(horizon)[:, :1]
+
+    def predict_distribution(self, horizon):
+        """One :class:`Histogram` per forecast step (channel 0)."""
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        points = self._inner.predict(horizon)[:, 0]
+        distributions = []
+        compounded = self._residual
+        for step in range(horizon):
+            distributions.append(compounded.shift(points[step]))
+            if step + 1 < horizon:
+                compounded = compounded.convolve(self._residual)
+        return distributions
+
+    def sample_paths(self, horizon, n_paths, rng=None):
+        """Monte-Carlo future trajectories, shape ``(n_paths, horizon)``.
+
+        Residuals are drawn independently per step and accumulated onto
+        the point forecast — the sampler MagicScaler-style schedulers
+        consume.
+        """
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        rng = ensure_rng(rng)
+        points = self._inner.predict(horizon)[:, 0]
+        noise = np.stack([
+            self._residual.sample(horizon, rng=rng)
+            for _ in range(int(n_paths))
+        ])
+        return points[None, :] + np.cumsum(noise, axis=1) / np.sqrt(
+            np.arange(1, horizon + 1))
+
+
+class QuantileForecaster(Forecaster):
+    """Direct quantile regression on lag features.
+
+    One linear model per requested quantile, trained with pinball-loss
+    subgradient descent; predicted quantiles are sorted per step so the
+    bands never cross.  Univariate (channel 0).
+    """
+
+    def __init__(self, quantiles=(0.1, 0.5, 0.9), n_lags=12,
+                 learning_rate=0.05, n_epochs=200, rng=None):
+        quantiles = tuple(float(q) for q in quantiles)
+        if not quantiles:
+            raise ValueError("need at least one quantile")
+        for q in quantiles:
+            if not 0.0 < q < 1.0:
+                raise ValueError(f"quantile {q} outside (0, 1)")
+        self.quantiles = quantiles
+        self.n_lags = int(check_positive(n_lags, "n_lags"))
+        self.learning_rate = float(check_positive(learning_rate,
+                                                  "learning_rate"))
+        self.n_epochs = int(check_positive(n_epochs, "n_epochs"))
+        self._rng = ensure_rng(rng)
+
+    def fit(self, series):
+        series = self._validate_series(series)
+        values = series.values[:, 0]
+        if len(values) <= self.n_lags + 1:
+            raise ValueError("series too short for the chosen n_lags")
+        features = np.stack([
+            values[position - self.n_lags:position][::-1]
+            for position in range(self.n_lags, len(values))
+        ])
+        targets = values[self.n_lags:]
+
+        # Standardize features for stable subgradient steps.
+        self._mean = features.mean(axis=0)
+        self._scale = features.std(axis=0)
+        self._scale[self._scale == 0] = 1.0
+        standardized = (features - self._mean) / self._scale
+
+        # Warm start every quantile at the ridge solution.
+        ridge_weights, ridge_intercept = ridge_fit(standardized, targets,
+                                                   1.0)
+        self._weights = {}
+        self._intercepts = {}
+        n = len(targets)
+        for quantile in self.quantiles:
+            weights = ridge_weights[:, 0].copy()
+            intercept = float(ridge_intercept[0])
+            rate = self.learning_rate
+            for epoch in range(self.n_epochs):
+                predicted = standardized @ weights + intercept
+                # Pinball subgradient: -q where under, (1-q) where over.
+                gradient_sign = np.where(targets > predicted,
+                                         -quantile, 1.0 - quantile)
+                weights -= rate * (standardized.T @ gradient_sign) / n
+                intercept -= rate * gradient_sign.mean()
+                rate *= 0.995
+            self._weights[quantile] = weights
+            self._intercepts[quantile] = intercept
+
+        self._history = values.copy()
+        self._fitted = True
+        return self
+
+    def predict(self, horizon):
+        """Median (or mid-quantile) point forecast, shape (horizon, 1)."""
+        bands = self.predict_quantiles(horizon)
+        middle = len(self.quantiles) // 2
+        return bands[:, middle:middle + 1]
+
+    def predict_quantiles(self, horizon):
+        """Quantile bands, shape ``(horizon, len(quantiles))``.
+
+        Iterates forward feeding the *median* band back as history.
+        """
+        self._check_fitted()
+        horizon = self._validate_horizon(horizon)
+        middle_index = len(self.quantiles) // 2
+        history = self._history.copy()
+        results = np.zeros((horizon, len(self.quantiles)))
+        for step in range(horizon):
+            lags = history[-self.n_lags:][::-1]
+            standardized = (lags - self._mean) / self._scale
+            row = np.array([
+                standardized @ self._weights[q] + self._intercepts[q]
+                for q in self.quantiles
+            ])
+            row.sort()  # enforce non-crossing bands
+            results[step] = row
+            history = np.append(history, row[middle_index])
+        return results
+
+    def coverage(self, series, lower_index=0, upper_index=-1):
+        """Empirical coverage of the (lower, upper) band on in-sample
+        one-step predictions over ``series``; a calibration check."""
+        self._check_fitted()
+        values = series.values[:, 0]
+        hits = []
+        for position in range(self.n_lags, len(values)):
+            lags = values[position - self.n_lags:position][::-1]
+            standardized = (lags - self._mean) / self._scale
+            row = np.array([
+                standardized @ self._weights[q] + self._intercepts[q]
+                for q in self.quantiles
+            ])
+            row.sort()
+            hits.append(row[lower_index] <= values[position]
+                        <= row[upper_index])
+        return float(np.mean(hits))

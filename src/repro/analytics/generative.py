@@ -1,0 +1,131 @@
+"""Generative scenario sampling (paper §II-E, "generative model
+potential").
+
+The paper's research-directions section argues that generative models
+can improve "temporal and spatio-temporal decision-making" via their
+"precision in data generation".  The classical, assumption-light
+generative device for time series is the **seasonal block bootstrap**:
+resample contiguous blocks of the historical series — drawn from the
+matching phase of the seasonal cycle — and stitch them into new,
+never-observed but statistically faithful trajectories.
+
+Decision layers consume the sampler for *scenario-based* evaluation:
+instead of a single forecast, a policy (autoscaler, router) is stress-
+tested against an ensemble of plausible futures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive, ensure_rng
+from ..datatypes import TimeSeries
+
+__all__ = ["BlockBootstrapGenerator"]
+
+
+class BlockBootstrapGenerator:
+    """Seasonal block-bootstrap sampler for univariate series.
+
+    Parameters
+    ----------
+    block_length:
+        Length of the resampled blocks (controls how much local dynamic
+        structure is preserved).
+    period:
+        When given, blocks are drawn only from positions whose phase in
+        the seasonal cycle matches the position being generated (within
+        ``phase_tolerance``), so daily/weekly shapes survive resampling.
+    phase_tolerance:
+        Allowed phase mismatch, in steps.
+    """
+
+    def __init__(self, block_length=24, *, period=None,
+                 phase_tolerance=2, rng=None):
+        self.block_length = int(check_positive(block_length,
+                                               "block_length"))
+        self.period = (int(check_positive(period, "period"))
+                       if period is not None else None)
+        self.phase_tolerance = int(phase_tolerance)
+        self._rng = ensure_rng(rng)
+        self._fitted = False
+
+    def fit(self, series):
+        """Memorize the historical values (and their phases)."""
+        if not isinstance(series, TimeSeries):
+            raise TypeError("series must be a TimeSeries")
+        if not series.is_complete():
+            raise ValueError("generator requires complete data")
+        values = series.values[:, 0]
+        if len(values) < 2 * self.block_length:
+            raise ValueError(
+                "series must cover at least two block lengths"
+            )
+        self._values = values.copy()
+        self._fitted = True
+        return self
+
+    def _candidate_starts(self, position):
+        """Valid block-start indices for generating at ``position``."""
+        last = len(self._values) - self.block_length
+        starts = np.arange(last + 1)
+        if self.period is None:
+            return starts
+        phase = position % self.period
+        start_phases = starts % self.period
+        gap = np.minimum((start_phases - phase) % self.period,
+                         (phase - start_phases) % self.period)
+        matching = starts[gap <= self.phase_tolerance]
+        return matching if len(matching) else starts
+
+    def sample(self, length, rng=None, *, start_phase=0):
+        """Generate one synthetic trajectory of the given length.
+
+        Consecutive blocks are level-adjusted at the seams (the new
+        block is shifted so its first value continues the previous
+        block's last value) to avoid bootstrap discontinuities.
+
+        ``start_phase`` aligns the scenario with a continuation point:
+        to generate futures following a history of length ``n``, pass
+        ``start_phase = n % period`` so the seasonal cycle continues
+        where the history left off.
+        """
+        if not self._fitted:
+            raise RuntimeError("fit before sampling")
+        check_positive(length, "length")
+        length = int(length)
+        rng = self._rng if rng is None else ensure_rng(rng)
+        output = np.empty(length)
+        position = 0
+        previous_end = None
+        while position < length:
+            starts = self._candidate_starts(position + int(start_phase))
+            start = int(starts[int(rng.integers(0, len(starts)))])
+            block = self._values[start:start + self.block_length].copy()
+            if previous_end is not None:
+                # Blend the seam: half the jump is absorbed by shifting
+                # the block, so levels stay continuous without flattening
+                # genuine seasonal swings.
+                block += 0.5 * (previous_end - block[0])
+            take = min(self.block_length, length - position)
+            output[position:position + take] = block[:take]
+            previous_end = block[take - 1]
+            position += take
+        return output
+
+    def sample_paths(self, length, n_paths, rng=None, *, start_phase=0):
+        """Matrix of ``n_paths`` independent scenarios, shape
+        ``(n_paths, length)``."""
+        rng = self._rng if rng is None else ensure_rng(rng)
+        return np.stack([
+            self.sample(length, rng=rng, start_phase=start_phase)
+            for _ in range(int(n_paths))
+        ])
+
+    def scenario_quantile(self, length, quantile, n_paths=200, rng=None,
+                          *, start_phase=0):
+        """Pointwise scenario quantile — e.g. the 95th-percentile demand
+        trajectory a capacity planner should provision for."""
+        paths = self.sample_paths(length, n_paths, rng=rng,
+                                  start_phase=start_phase)
+        return np.quantile(paths, quantile, axis=0)

@@ -1,0 +1,213 @@
+"""Evaluation metrics for forecasting and anomaly detection.
+
+Shared by the analytics layer, the benchmarking harness (§II-C,
+"benchmarking") and every experiment in EXPERIMENTS.md.  Implemented
+from scratch (no sklearn available) with the exact conventions stated in
+each docstring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array
+
+__all__ = [
+    "mae",
+    "rmse",
+    "mape",
+    "smape",
+    "pinball_loss",
+    "crps_from_samples",
+    "precision_recall_f1",
+    "best_f1",
+    "roc_auc",
+    "pr_auc",
+    "point_adjusted_scores",
+]
+
+
+def _paired(y_true, y_pred):
+    true = np.asarray(y_true, dtype=float).ravel()
+    predicted = np.asarray(y_pred, dtype=float).ravel()
+    if true.shape != predicted.shape:
+        raise ValueError(
+            f"shape mismatch: {true.shape} vs {predicted.shape}"
+        )
+    if true.size == 0:
+        raise ValueError("empty inputs")
+    return true, predicted
+
+
+def mae(y_true, y_pred):
+    """Mean absolute error."""
+    true, predicted = _paired(y_true, y_pred)
+    return float(np.mean(np.abs(true - predicted)))
+
+
+def rmse(y_true, y_pred):
+    """Root mean squared error."""
+    true, predicted = _paired(y_true, y_pred)
+    return float(np.sqrt(np.mean((true - predicted) ** 2)))
+
+
+def mape(y_true, y_pred, *, epsilon=1e-8):
+    """Mean absolute percentage error (in percent, zero-safe)."""
+    true, predicted = _paired(y_true, y_pred)
+    return float(
+        100.0 * np.mean(np.abs(true - predicted)
+                        / np.maximum(np.abs(true), epsilon))
+    )
+
+
+def smape(y_true, y_pred, *, epsilon=1e-8):
+    """Symmetric MAPE (in percent)."""
+    true, predicted = _paired(y_true, y_pred)
+    denominator = np.maximum(
+        (np.abs(true) + np.abs(predicted)) / 2.0, epsilon
+    )
+    return float(100.0 * np.mean(np.abs(true - predicted) / denominator))
+
+
+def pinball_loss(y_true, y_pred, quantile):
+    """Pinball (quantile) loss at the given quantile level."""
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile!r}")
+    true, predicted = _paired(y_true, y_pred)
+    error = true - predicted
+    return float(np.mean(np.maximum(quantile * error,
+                                    (quantile - 1.0) * error)))
+
+
+def crps_from_samples(y_true, sample_matrix):
+    """Continuous ranked probability score from predictive samples.
+
+    Uses the identity ``CRPS = E|S - y| - 0.5 E|S - S'|`` averaged over
+    observations.  ``sample_matrix`` has one row of samples per
+    observation.
+    """
+    true = np.asarray(y_true, dtype=float).ravel()
+    samples = as_float_array(sample_matrix, "sample_matrix", ndim=2)
+    if samples.shape[0] != true.shape[0]:
+        raise ValueError("one sample row per observation required")
+    term_one = np.abs(samples - true[:, None]).mean(axis=1)
+    sorted_samples = np.sort(samples, axis=1)
+    n = samples.shape[1]
+    # E|S - S'| via the order-statistics identity.
+    weights = 2 * np.arange(1, n + 1) - n - 1
+    term_two = (sorted_samples * weights).sum(axis=1) / (n * n)
+    return float(np.mean(term_one - term_two))
+
+
+# -- detection metrics ----------------------------------------------------
+
+
+def _binary(labels):
+    array = np.asarray(labels).ravel().astype(bool)
+    if array.size == 0:
+        raise ValueError("empty labels")
+    return array
+
+
+def precision_recall_f1(labels, predictions):
+    """Precision, recall and F1 of boolean predictions."""
+    truth = _binary(labels)
+    predicted = _binary(predictions)
+    if truth.shape != predicted.shape:
+        raise ValueError("labels and predictions must align")
+    true_positive = int(np.sum(truth & predicted))
+    precision = (true_positive / predicted.sum()) if predicted.any() else 0.0
+    recall = (true_positive / truth.sum()) if truth.any() else 0.0
+    if precision + recall == 0:
+        return 0.0, 0.0, 0.0
+    f1 = 2 * precision * recall / (precision + recall)
+    return float(precision), float(recall), float(f1)
+
+
+def best_f1(labels, scores):
+    """Best F1 over all score thresholds (the usual detector metric).
+
+    Returns ``(f1, threshold)``.
+    """
+    truth = _binary(labels)
+    values = np.asarray(scores, dtype=float).ravel()
+    if truth.shape != values.shape:
+        raise ValueError("labels and scores must align")
+    order = np.argsort(-values)
+    sorted_truth = truth[order]
+    cumulative_tp = np.cumsum(sorted_truth)
+    k = np.arange(1, len(values) + 1)
+    precision = cumulative_tp / k
+    recall = cumulative_tp / max(truth.sum(), 1)
+    denominator = precision + recall
+    f1 = np.where(denominator > 0, 2 * precision * recall
+                  / np.maximum(denominator, 1e-12), 0.0)
+    best = int(np.argmax(f1))
+    return float(f1[best]), float(values[order][best])
+
+
+def roc_auc(labels, scores):
+    """Area under the ROC curve (probability of correct ranking)."""
+    truth = _binary(labels)
+    values = np.asarray(scores, dtype=float).ravel()
+    positives = values[truth]
+    negatives = values[~truth]
+    if len(positives) == 0 or len(negatives) == 0:
+        raise ValueError("need both positive and negative labels")
+    # Rank-sum formulation with tie handling.
+    combined = np.concatenate([positives, negatives])
+    order = np.argsort(combined)
+    ranks = np.empty(len(combined))
+    sorted_values = combined[order]
+    i = 0
+    while i < len(sorted_values):
+        j = i
+        while (j + 1 < len(sorted_values)
+               and sorted_values[j + 1] == sorted_values[i]):
+            j += 1
+        ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    rank_sum = ranks[: len(positives)].sum()
+    n_pos, n_neg = len(positives), len(negatives)
+    return float(
+        (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+    )
+
+
+def pr_auc(labels, scores):
+    """Area under the precision-recall curve (average precision)."""
+    truth = _binary(labels)
+    values = np.asarray(scores, dtype=float).ravel()
+    if not truth.any():
+        raise ValueError("need at least one positive label")
+    order = np.argsort(-values)
+    sorted_truth = truth[order]
+    cumulative_tp = np.cumsum(sorted_truth)
+    precision = cumulative_tp / np.arange(1, len(values) + 1)
+    # Average precision: mean of precision at each positive hit.
+    return float(precision[sorted_truth].sum() / truth.sum())
+
+
+def point_adjusted_scores(labels, scores):
+    """Point-adjust protocol: within each true anomaly segment, every
+    point inherits the segment's maximum score.
+
+    Standard practice in the time-series anomaly-detection literature:
+    detecting any point of a collective anomaly counts as detecting the
+    whole event.
+    """
+    truth = _binary(labels)
+    values = np.asarray(scores, dtype=float).ravel().copy()
+    if truth.shape != values.shape:
+        raise ValueError("labels and scores must align")
+    index = 0
+    while index < len(truth):
+        if truth[index]:
+            stop = index
+            while stop + 1 < len(truth) and truth[stop + 1]:
+                stop += 1
+            values[index:stop + 1] = values[index:stop + 1].max()
+            index = stop + 1
+        else:
+            index += 1
+    return values

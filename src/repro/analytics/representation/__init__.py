@@ -1,0 +1,9 @@
+"""Generality: pretrained representations (contrastive + masked) with
+linear probing."""
+
+from .contrastive import ContrastiveEncoder
+from .masked import LinearProbe, MaskedAutoencoderPretrainer
+from .path2vec import PathEncoder
+
+__all__ = ["ContrastiveEncoder", "LinearProbe",
+           "MaskedAutoencoderPretrainer", "PathEncoder"]

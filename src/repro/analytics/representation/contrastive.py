@@ -1,0 +1,181 @@
+"""Unsupervised contrastive representation learning with curriculum
+negative sampling [30].
+
+The generality story of the paper (§II-C): pre-train an encoder on
+abundant *unlabeled* windows so that downstream tasks need only a
+handful of labels.  The mechanism reproduced here is InfoNCE with the
+curriculum of [30]:
+
+* **positives** — two overlapping random crops of the same window agree;
+* **negatives** — crops of other windows must disagree;
+* **curriculum** — early epochs use the *easiest* negatives (most
+  dissimilar); harder negatives are mixed in as training progresses,
+  which stabilizes the embedding before it is sharpened.
+
+The encoder is a single linear map trained with the exact InfoNCE
+gradient (derived for dot-product similarity), so training is fast and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_fraction, check_positive, ensure_rng
+
+__all__ = ["ContrastiveEncoder"]
+
+
+class ContrastiveEncoder:
+    """Linear InfoNCE encoder with curriculum negative sampling.
+
+    Parameters
+    ----------
+    n_components:
+        Embedding dimensionality.
+    crop_fraction:
+        Length of random crops relative to the window (two crops of the
+        same window form the positive pair).
+    temperature:
+        InfoNCE temperature.
+    curriculum:
+        When True, negatives are introduced easiest-first.
+    """
+
+    def __init__(self, n_components=8, *, crop_fraction=0.8,
+                 temperature=0.5, n_epochs=60, learning_rate=0.02,
+                 batch_size=32, curriculum=True, rng=None):
+        self.n_components = int(check_positive(n_components,
+                                               "n_components"))
+        self.crop_fraction = check_fraction(crop_fraction, "crop_fraction",
+                                            inclusive_low=False)
+        self.temperature = float(check_positive(temperature, "temperature"))
+        self.n_epochs = int(check_positive(n_epochs, "n_epochs"))
+        self.learning_rate = float(learning_rate)
+        self.batch_size = int(batch_size)
+        self.curriculum = bool(curriculum)
+        self._rng = ensure_rng(rng)
+        self._fitted = False
+        self.training_losses = []
+
+    def _crop(self, window):
+        length = len(window)
+        crop_length = max(2, int(self.crop_fraction * length))
+        start = int(self._rng.integers(0, length - crop_length + 1))
+        crop = np.zeros(length)
+        crop[:crop_length] = window[start:start + crop_length]
+        return crop
+
+    def fit(self, windows, weak_labels=None):
+        """Pre-train on windows of shape ``(n, length)``.
+
+        Parameters
+        ----------
+        windows:
+            The (unlabeled) training pool.
+        weak_labels:
+            Optional coarse labels of shape ``(n,)`` — the
+            weakly-supervised variant of [31]: when given, the positive
+            view of an anchor is a crop of a *different window with the
+            same label* (not just of the anchor itself), so the encoder
+            targets label-level rather than instance-level invariance.
+
+            Note: with this *linear* encoder, cross-window positives are
+            often too hard to align and instance-level positives train
+            better (measured in tests/test_representation.py); the
+            option reproduces [31]'s mechanism, not a guaranteed win.
+        """
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 2:
+            raise ValueError("windows must be 2-D")
+        n, length = windows.shape
+        if n < 4:
+            raise ValueError("need at least 4 windows")
+        if weak_labels is not None:
+            weak_labels = np.asarray(weak_labels)
+            if weak_labels.shape != (n,):
+                raise ValueError("weak_labels must have one entry per "
+                                 "window")
+            self._label_pools = {
+                value: np.flatnonzero(weak_labels == value)
+                for value in np.unique(weak_labels)
+            }
+        else:
+            self._label_pools = None
+        self._weak_labels = weak_labels
+        self._mean = windows.mean(axis=0)
+        self._scale = windows.std(axis=0)
+        self._scale[self._scale == 0] = 1.0
+        standardized = (windows - self._mean) / self._scale
+
+        d = self.n_components
+        weights = self._rng.normal(0, 1.0 / np.sqrt(length),
+                                   size=(length, d))
+        self.training_losses = []
+        for epoch in range(self.n_epochs):
+            order = self._rng.permutation(n)
+            epoch_loss, n_batches = 0.0, 0
+            # Curriculum: the fraction of hardest negatives admitted
+            # grows linearly from 30% to 100%.
+            difficulty = (1.0 if not self.curriculum
+                          else 0.3 + 0.7 * epoch / max(self.n_epochs - 1, 1))
+            for start in range(0, n - 1, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                if len(batch) < 2:
+                    continue
+                views_a = np.stack([
+                    self._crop(standardized[i]) for i in batch])
+                if self._label_pools is not None:
+                    partners = [
+                        int(self._rng.choice(
+                            self._label_pools[self._weak_labels[i]]))
+                        for i in batch
+                    ]
+                    views_b = np.stack([
+                        self._crop(standardized[j]) for j in partners])
+                else:
+                    views_b = np.stack([
+                        self._crop(standardized[i]) for i in batch])
+                za = views_a @ weights
+                zb = views_b @ weights
+                logits = za @ zb.T / self.temperature
+                if self.curriculum and difficulty < 1.0:
+                    # Mask the hardest negatives (largest logits among
+                    # off-diagonal entries) early in training.
+                    b = len(batch)
+                    off = logits.copy()
+                    np.fill_diagonal(off, -np.inf)
+                    n_keep = max(1, int(difficulty * (b - 1)))
+                    for row in range(b):
+                        candidates = np.argsort(off[row])  # ascending
+                        hard = candidates[n_keep:]
+                        hard = hard[hard != row]
+                        logits[row, hard] = -np.inf
+                logits -= logits.max(axis=1, keepdims=True)
+                exp = np.exp(logits)
+                softmax = exp / exp.sum(axis=1, keepdims=True)
+                b = len(batch)
+                targets = np.eye(b)
+                epoch_loss += float(
+                    -np.log(np.clip(np.diag(softmax), 1e-12, None)).mean())
+                n_batches += 1
+                # InfoNCE gradient for dot-product similarity.
+                delta = (softmax - targets) / (self.temperature * b)
+                grad_za = delta @ zb
+                grad_zb = delta.T @ za
+                gradient = views_a.T @ grad_za + views_b.T @ grad_zb
+                weights -= self.learning_rate * gradient
+            self.training_losses.append(epoch_loss / max(n_batches, 1))
+        self._weights = weights
+        self._fitted = True
+        return self
+
+    def transform(self, windows):
+        """Embed windows, shape ``(n, n_components)``."""
+        if not self._fitted:
+            raise RuntimeError("fit before transform")
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim == 1:
+            windows = windows[None, :]
+        standardized = (windows - self._mean) / self._scale
+        return standardized @ self._weights

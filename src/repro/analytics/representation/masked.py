@@ -1,0 +1,157 @@
+"""Masked-autoencoder pretraining (LightPath-style [32]).
+
+The second generality mechanism of §II-C: hide random spans of each
+window and train an encoder/decoder to reconstruct them.  What the
+encoder must learn to fill the gaps — local shape, phase, level — is
+exactly what downstream classifiers need, so a linear probe on the
+frozen embedding rivals fully supervised training with far fewer labels
+(experiment E10).
+
+The network is the shared :class:`~repro.analytics._mlp.Mlp`; masking is
+span-based (contiguous chunks), matching how trajectory/path pretraining
+masks sub-paths rather than isolated points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_fraction, check_positive, ensure_rng
+from .._mlp import Mlp
+
+__all__ = ["MaskedAutoencoderPretrainer", "LinearProbe"]
+
+
+class MaskedAutoencoderPretrainer:
+    """Span-masked reconstruction pretraining.
+
+    Parameters
+    ----------
+    n_components:
+        Bottleneck (= embedding) dimensionality.
+    mask_fraction:
+        Share of each window hidden during pretraining.
+    span:
+        Length of each masked chunk.
+    """
+
+    def __init__(self, n_components=8, *, n_hidden=32, mask_fraction=0.3,
+                 span=8, n_epochs=80, learning_rate=0.005, rng=None):
+        self.n_components = int(check_positive(n_components,
+                                               "n_components"))
+        self.n_hidden = int(check_positive(n_hidden, "n_hidden"))
+        self.mask_fraction = check_fraction(mask_fraction, "mask_fraction",
+                                            inclusive_low=False,
+                                            inclusive_high=False)
+        self.span = int(check_positive(span, "span"))
+        self.n_epochs = int(check_positive(n_epochs, "n_epochs"))
+        self.learning_rate = float(learning_rate)
+        self._rng = ensure_rng(rng)
+        self._fitted = False
+
+    def _mask(self, standardized):
+        masked = standardized.copy()
+        n, length = standardized.shape
+        n_spans = max(1, int(self.mask_fraction * length / self.span))
+        for row in range(n):
+            for _ in range(n_spans):
+                start = int(self._rng.integers(0, max(1, length - self.span)))
+                masked[row, start:start + self.span] = 0.0
+        return masked
+
+    def fit(self, windows):
+        """Pre-train on unlabeled windows of shape ``(n, length)``."""
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 2:
+            raise ValueError("windows must be 2-D")
+        n, length = windows.shape
+        self._mean = windows.mean(axis=0)
+        self._scale = windows.std(axis=0)
+        self._scale[self._scale == 0] = 1.0
+        standardized = (windows - self._mean) / self._scale
+
+        self._network = Mlp(
+            [length, self.n_hidden, self.n_components, self.n_hidden,
+             length],
+            learning_rate=self.learning_rate, n_epochs=1,
+            batch_size=32, rng=self._rng,
+        )
+        for _ in range(self.n_epochs):
+            corrupted = self._mask(standardized)
+            self._network.fit(corrupted, standardized)
+        self._fitted = True
+        return self
+
+    def transform(self, windows):
+        """Frozen-encoder embeddings, shape ``(n, n_components)``."""
+        if not self._fitted:
+            raise RuntimeError("fit before transform")
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim == 1:
+            windows = windows[None, :]
+        standardized = (windows - self._mean) / self._scale
+        _, activations = self._network.forward(standardized)
+        return activations[2]  # output of the bottleneck layer
+
+    def reconstruction_error(self, windows):
+        """Mean reconstruction MSE (a pretraining quality probe)."""
+        if not self._fitted:
+            raise RuntimeError("fit before scoring")
+        windows = np.asarray(windows, dtype=float)
+        standardized = (windows - self._mean) / self._scale
+        predicted = self._network.predict(standardized)
+        return float(((predicted - standardized) ** 2).mean())
+
+
+class LinearProbe:
+    """Multinomial logistic regression on frozen embeddings.
+
+    The standard protocol for judging representation quality: if a
+    linear model on the embedding classifies well from few labels, the
+    representation generalizes.
+    """
+
+    def __init__(self, *, n_epochs=300, learning_rate=0.5):
+        self.n_epochs = int(check_positive(n_epochs, "n_epochs"))
+        self.learning_rate = float(learning_rate)
+        self._fitted = False
+
+    def fit(self, embeddings, labels):
+        embeddings = np.asarray(embeddings, dtype=float)
+        labels = np.asarray(labels)
+        if len(embeddings) != len(labels):
+            raise ValueError("embeddings and labels must align")
+        self.classes_ = np.unique(labels)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes")
+        self._mean = embeddings.mean(axis=0)
+        self._scale = embeddings.std(axis=0)
+        self._scale[self._scale == 0] = 1.0
+        z = (embeddings - self._mean) / self._scale
+        targets = (labels[:, None] == self.classes_[None, :]).astype(float)
+
+        n, d = z.shape
+        k = len(self.classes_)
+        weights = np.zeros((d, k))
+        intercept = np.zeros(k)
+        for _ in range(self.n_epochs):
+            logits = z @ weights + intercept
+            logits -= logits.max(axis=1, keepdims=True)
+            proba = np.exp(logits)
+            proba /= proba.sum(axis=1, keepdims=True)
+            gradient = (proba - targets) / n
+            weights -= self.learning_rate * (z.T @ gradient)
+            intercept -= self.learning_rate * gradient.sum(axis=0)
+        self._weights, self._intercept = weights, intercept
+        self._fitted = True
+        return self
+
+    def predict(self, embeddings):
+        if not self._fitted:
+            raise RuntimeError("fit before predict")
+        z = (np.asarray(embeddings, dtype=float) - self._mean) / self._scale
+        return self.classes_[np.argmax(z @ self._weights + self._intercept,
+                                       axis=1)]
+
+    def score(self, embeddings, labels):
+        return float(np.mean(self.predict(embeddings) == np.asarray(labels)))

@@ -1,0 +1,188 @@
+"""Path representation learning on road networks ([29], [30], [32]).
+
+The paper's generality references are mostly about *paths*: unsupervised
+path representation with curriculum negatives [30], weakly-supervised
+temporal paths [31], lightweight path pretraining (LightPath [32]) and
+multi-modal paths (MM-Path [23]).  This module provides the road-network
+counterpart of the window encoders:
+
+* edge embeddings trained skip-gram style on random walks (and/or
+  observed trajectories): edges that co-occur on trips end up close;
+* a path embedding = length-weighted mean of its edge embeddings,
+  which downstream rankers/classifiers consume.
+
+Training is a NumPy skip-gram with negative sampling (the standard
+word2vec objective with edges as tokens and walks as sentences).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_positive, ensure_rng
+from ...datatypes import RoadNetwork
+
+__all__ = ["PathEncoder"]
+
+
+class PathEncoder:
+    """Skip-gram edge embeddings with path pooling.
+
+    Parameters
+    ----------
+    network:
+        The road network whose edges are embedded.
+    n_components:
+        Embedding dimensionality.
+    window:
+        Skip-gram context radius along a walk.
+    n_negatives:
+        Negative samples per positive pair.
+    """
+
+    def __init__(self, network, n_components=16, *, window=3,
+                 n_negatives=4, n_epochs=3, learning_rate=0.05,
+                 rng=None):
+        if not isinstance(network, RoadNetwork):
+            raise TypeError("network must be a RoadNetwork")
+        self.network = network
+        self.n_components = int(check_positive(n_components,
+                                               "n_components"))
+        self.window = int(check_positive(window, "window"))
+        self.n_negatives = int(check_positive(n_negatives,
+                                              "n_negatives"))
+        self.n_epochs = int(check_positive(n_epochs, "n_epochs"))
+        self.learning_rate = float(learning_rate)
+        self._rng = ensure_rng(rng)
+        self._edges = network.edges()
+        self._index = {edge: i for i, edge in enumerate(self._edges)}
+        self._fitted = False
+
+    # -- corpus ------------------------------------------------------------
+
+    def random_walks(self, n_walks=200, walk_length=12):
+        """Generate random-walk node paths as a training corpus.
+
+        Used when no trajectory data exists; observed trajectories can
+        be passed to :meth:`fit` directly instead (or in addition).
+        """
+        nodes = self.network.nodes()
+        walks = []
+        for _ in range(int(n_walks)):
+            current = nodes[int(self._rng.integers(0, len(nodes)))]
+            walk = [current]
+            for _ in range(int(walk_length)):
+                successors = self.network.successors(current)
+                if not successors:
+                    break
+                current = successors[int(self._rng.integers(
+                    0, len(successors)))]
+                walk.append(current)
+            if len(walk) >= 2:
+                walks.append(walk)
+        return walks
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, paths=None, *, n_walks=300, walk_length=12):
+        """Train edge embeddings from node paths.
+
+        Parameters
+        ----------
+        paths:
+            Iterable of node paths (expert trajectories).  When omitted,
+            random walks over the network are used.
+        """
+        if paths is None:
+            paths = self.random_walks(n_walks, walk_length)
+        sentences = []
+        for path in paths:
+            edge_ids = [
+                self._index[edge]
+                for edge in self.network.path_edges(list(path))
+            ]
+            if len(edge_ids) >= 2:
+                sentences.append(edge_ids)
+        if not sentences:
+            raise ValueError("no usable paths (need >= 2 edges each)")
+
+        n_edges = len(self._edges)
+        d = self.n_components
+        rng = self._rng
+        # Input (center) and output (context) embedding tables.
+        centers = rng.normal(0, 1.0 / np.sqrt(d), size=(n_edges, d))
+        contexts = rng.normal(0, 1.0 / np.sqrt(d), size=(n_edges, d))
+
+        def sigmoid(x):
+            return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+        rate = self.learning_rate
+        for _ in range(self.n_epochs):
+            order = rng.permutation(len(sentences))
+            for sentence_index in order:
+                sentence = sentences[sentence_index]
+                for position, center_id in enumerate(sentence):
+                    low = max(0, position - self.window)
+                    high = min(len(sentence), position + self.window + 1)
+                    for context_position in range(low, high):
+                        if context_position == position:
+                            continue
+                        context_id = sentence[context_position]
+                        negatives = rng.integers(0, n_edges,
+                                                 self.n_negatives)
+                        ids = np.concatenate([[context_id], negatives])
+                        labels = np.zeros(len(ids))
+                        labels[0] = 1.0
+                        vectors = contexts[ids]
+                        scores = sigmoid(vectors @ centers[center_id])
+                        gradient = (scores - labels)[:, None]
+                        grad_center = (gradient * vectors).sum(axis=0)
+                        contexts[ids] -= rate * gradient \
+                            * centers[center_id][None, :]
+                        centers[center_id] -= rate * grad_center
+            rate *= 0.8
+        self._embeddings = centers
+        self._fitted = True
+        return self
+
+    # -- queries ---------------------------------------------------------------
+
+    def edge_embedding(self, u, v):
+        if not self._fitted:
+            raise RuntimeError("fit before querying embeddings")
+        return self._embeddings[self._index[(u, v)]].copy()
+
+    def path_embedding(self, path, *, pooling="mean"):
+        """Pool the path's edge embeddings into one vector.
+
+        ``pooling="mean"`` (length-weighted average) suits *similarity*
+        tasks — two paths through the same corridor embed close
+        regardless of length.  ``pooling="sum"`` (length-weighted sum)
+        preserves additive structure and is the right choice for
+        *additive-cost* downstream tasks such as travel-time estimation
+        (LightPath's evaluation task).
+        """
+        if pooling not in ("mean", "sum"):
+            raise ValueError(
+                f"pooling must be 'mean' or 'sum', got {pooling!r}"
+            )
+        if not self._fitted:
+            raise RuntimeError("fit before querying embeddings")
+        edges = self.network.path_edges(list(path))
+        weights = np.array([
+            self.network.edge_length(u, v) for u, v in edges
+        ])
+        vectors = np.stack([
+            self._embeddings[self._index[edge]] for edge in edges
+        ])
+        total = (weights[:, None] * vectors).sum(axis=0)
+        if pooling == "sum":
+            return total
+        return total / weights.sum()
+
+    def similarity(self, path_a, path_b):
+        """Cosine similarity of two path embeddings."""
+        a = self.path_embedding(path_a)
+        b = self.path_embedding(path_b)
+        denominator = max(np.linalg.norm(a) * np.linalg.norm(b), 1e-12)
+        return float(a @ b / denominator)

@@ -1,0 +1,22 @@
+"""Robustness: drift detection, replay-based continual learning,
+importance-weighted domain adaptation, and multi-scale pathways."""
+
+from .adaptation import (
+    DomainAdaptedRegressor,
+    density_ratio_weights,
+    weighted_ridge,
+)
+from .continual import ReplayContinualForecaster, evaluate_forgetting
+from .drift import KsDriftDetector, PageHinkleyDetector
+from .multiscale import MultiScalePathwaysForecaster
+
+__all__ = [
+    "DomainAdaptedRegressor",
+    "KsDriftDetector",
+    "MultiScalePathwaysForecaster",
+    "PageHinkleyDetector",
+    "ReplayContinualForecaster",
+    "density_ratio_weights",
+    "evaluate_forgetting",
+    "weighted_ridge",
+]

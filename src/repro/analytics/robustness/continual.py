@@ -1,0 +1,150 @@
+"""Replay-based continual learning for streaming data [37, 38].
+
+When the data distribution shifts (new roads, changed demand), a model
+must learn the new regime *without forgetting* the old ones — naive
+fine-tuning on recent data alone causes catastrophic forgetting, and
+full retraining on everything is too expensive for streams.  The
+replay strategy of [37] keeps a bounded buffer of past samples and
+always trains on ``current regime + replayed past``.
+
+:class:`ReplayContinualForecaster` wraps any forecaster factory with
+that protocol; :func:`evaluate_forgetting` computes the standard
+continual-learning score matrix (performance on every past regime after
+each update).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_positive, ensure_rng
+from ...datatypes import TimeSeries
+from ..metrics import mae
+
+__all__ = ["ReplayContinualForecaster", "evaluate_forgetting"]
+
+
+class ReplayContinualForecaster:
+    """Continual forecasting with reservoir replay.
+
+    Parameters
+    ----------
+    forecaster_factory:
+        Zero-argument callable returning a fresh forecaster.
+    buffer_size:
+        Maximum number of past *segments* retained (reservoir sampling,
+        so every past regime stays represented).
+    segment_length:
+        Length of the chunks stored in the buffer.
+    strategy:
+        ``"replay"`` — train on buffer + new data (the method);
+        ``"finetune"`` — train on new data only (the forgetting
+        baseline); ``"retrain"`` — train on *everything seen* (the
+        upper bound the paper calls too expensive).
+    """
+
+    _STRATEGIES = ("replay", "finetune", "retrain")
+
+    def __init__(self, forecaster_factory, *, buffer_size=8,
+                 segment_length=128, strategy="replay", rng=None):
+        if strategy not in self._STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {self._STRATEGIES}, "
+                f"got {strategy!r}"
+            )
+        self.forecaster_factory = forecaster_factory
+        self.buffer_size = int(check_positive(buffer_size, "buffer_size"))
+        self.segment_length = int(check_positive(segment_length,
+                                                 "segment_length"))
+        self.strategy = strategy
+        self._rng = ensure_rng(rng)
+        self._buffer = []
+        self._seen = 0
+        self._everything = []
+        self.model_ = None
+
+    def _reservoir_add(self, segment):
+        self._seen += 1
+        if len(self._buffer) < self.buffer_size:
+            self._buffer.append(segment)
+        else:
+            slot = int(self._rng.integers(0, self._seen))
+            if slot < self.buffer_size:
+                self._buffer[slot] = segment
+
+    def observe(self, series):
+        """Ingest a new stream chunk and update the model."""
+        if not isinstance(series, TimeSeries):
+            raise TypeError("series must be a TimeSeries")
+        values = series.values
+        self._everything.append(values)
+        for start in range(0, max(len(values) - self.segment_length, 0) + 1,
+                           self.segment_length):
+            segment = values[start:start + self.segment_length]
+            if len(segment) >= 2:
+                self._reservoir_add(segment)
+
+        if self.strategy == "finetune":
+            train = values
+        elif self.strategy == "retrain":
+            train = np.vstack(self._everything)
+        else:  # replay
+            parts = list(self._buffer) + [values]
+            train = np.vstack(parts)
+        self.model_ = self.forecaster_factory()
+        self.model_.fit(TimeSeries(train))
+        return self
+
+    def predict(self, horizon):
+        if self.model_ is None:
+            raise RuntimeError("observe data before predicting")
+        return self.model_.predict(horizon)
+
+    def evaluate(self, series, horizon=12):
+        """MAE of the *current parameters* on a regime's held-out data.
+
+        The regime's own context window is fed to the fitted model (via
+        ``predict_from``) but the parameters are NOT refit — the measure
+        of what the learner still knows about that regime.
+        """
+        if self.model_ is None:
+            raise RuntimeError("observe data before evaluating")
+        if len(series) <= horizon:
+            raise ValueError("series shorter than the horizon")
+        context = series.values[:len(series) - horizon]
+        future = series.values[len(series) - horizon:]
+        if not hasattr(self.model_, "predict_from"):
+            raise TypeError(
+                "the wrapped forecaster must expose predict_from(history, "
+                "horizon) for continual evaluation"
+            )
+        predicted = self.model_.predict_from(context, horizon)
+        return mae(future, predicted)
+
+
+def evaluate_forgetting(strategy_factory, regimes, *, horizon=12):
+    """Continual-learning score matrix over sequential regimes.
+
+    Parameters
+    ----------
+    strategy_factory:
+        Callable returning a fresh :class:`ReplayContinualForecaster`.
+    regimes:
+        List of ``(train_series, test_series)`` pairs presented in
+        order.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``scores[k, r]`` — MAE on regime ``r``'s test data after
+        training through regime ``k`` (``nan`` for r > k).  Forgetting
+        of regime r is ``scores[-1, r] - scores[r, r]``.
+    """
+    learner = strategy_factory()
+    n = len(regimes)
+    scores = np.full((n, n), np.nan)
+    for k, (train, _) in enumerate(regimes):
+        learner.observe(train)
+        for r in range(k + 1):
+            scores[k, r] = learner.evaluate(regimes[r][1], horizon=horizon)
+    return scores

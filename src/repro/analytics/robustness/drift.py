@@ -1,0 +1,99 @@
+"""Distribution-shift detection for streaming series (§II-C robustness).
+
+Distribution shifts — new roads, demand growth, regime changes — break
+models trained on yesterday's distribution.  Detecting the shift is the
+trigger for the continual-learning and recalibration machinery
+(:mod:`.continual`, QCore).  Two standard detectors:
+
+* :class:`KsDriftDetector` — two-sample Kolmogorov-Smirnov between a
+  reference window and the recent window (distributional change of any
+  kind);
+* :class:`PageHinkleyDetector` — sequential mean-shift detection with
+  O(1) state, the classic streaming change-point test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from ..._validation import check_positive
+
+__all__ = ["KsDriftDetector", "PageHinkleyDetector"]
+
+
+class KsDriftDetector:
+    """Two-sample KS test between reference and recent data.
+
+    Parameters
+    ----------
+    reference:
+        Sample from the training distribution.
+    p_threshold:
+        Drift is flagged when the KS p-value drops below this.
+    """
+
+    def __init__(self, reference, p_threshold=0.01):
+        reference = np.asarray(reference, dtype=float).ravel()
+        if len(reference) < 5:
+            raise ValueError("reference needs at least 5 observations")
+        if not 0.0 < p_threshold < 1.0:
+            raise ValueError("p_threshold must be in (0, 1)")
+        self.reference = reference
+        self.p_threshold = float(p_threshold)
+
+    def check(self, recent):
+        """Test a recent sample; returns ``(drifted, p_value)``."""
+        recent = np.asarray(recent, dtype=float).ravel()
+        if len(recent) < 5:
+            raise ValueError("recent needs at least 5 observations")
+        statistic = stats.ks_2samp(self.reference, recent)
+        return bool(statistic.pvalue < self.p_threshold), float(
+            statistic.pvalue)
+
+
+class PageHinkleyDetector:
+    """Sequential Page-Hinkley mean-shift detector.
+
+    Parameters
+    ----------
+    delta:
+        Magnitude of tolerated fluctuation (in target units).
+    threshold:
+        Alarm level of the cumulative statistic.
+    """
+
+    def __init__(self, delta=0.05, threshold=5.0):
+        self.delta = float(check_positive(delta, "delta"))
+        self.threshold = float(check_positive(threshold, "threshold"))
+        self.reset()
+
+    def reset(self):
+        self._count = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def update(self, value):
+        """Feed one observation; returns True when a shift is detected.
+
+        The detector resets itself after each alarm so it can flag
+        subsequent shifts.
+        """
+        value = float(value)
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        self._cumulative += value - self._mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        if self._cumulative - self._minimum > self.threshold:
+            self.reset()
+            return True
+        return False
+
+    def scan(self, values):
+        """Run over a sequence; returns the indices of detected shifts."""
+        alarms = []
+        for index, value in enumerate(np.asarray(values, dtype=float)):
+            if self.update(value):
+                alarms.append(index)
+        return alarms

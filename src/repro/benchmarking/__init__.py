@@ -1,0 +1,6 @@
+"""Unified, fair benchmarking of analytics methods (FoundTS-style)."""
+
+from .detection import DetectionLeaderboard
+from .harness import ForecastingLeaderboard
+
+__all__ = ["DetectionLeaderboard", "ForecastingLeaderboard"]

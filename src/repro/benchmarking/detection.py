@@ -1,0 +1,122 @@
+"""Anomaly-detection benchmarking (the second half of §II-C's
+benchmarking: "forecasting and anomaly detection tasks").
+
+Same philosophy as the forecasting leaderboard: a detector zoo × a
+dataset suite, every cell evaluated with one shared protocol —
+train on the (possibly contaminated) archive, score the labeled live
+stream, report point-adjusted best-F1 and ROC-AUC.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..analytics.metrics import best_f1, point_adjusted_scores, roc_auc
+
+__all__ = ["DetectionLeaderboard"]
+
+
+class DetectionLeaderboard:
+    """Detector-zoo x dataset-suite evaluation grid.
+
+    Datasets are registered as ``(train_series, test_series, labels)``
+    triples; detectors as zero-argument factories returning objects with
+    ``fit(series)`` and ``score(series)``.
+    """
+
+    def __init__(self, *, point_adjust=True):
+        self.point_adjust = bool(point_adjust)
+        self._detectors = {}
+        self._datasets = {}
+        self.results = []
+
+    def add_detector(self, name, factory):
+        if not callable(factory):
+            raise TypeError("factory must be callable")
+        self._detectors[str(name)] = factory
+        return self
+
+    def add_dataset(self, name, train, test, labels):
+        labels = np.asarray(labels, dtype=bool)
+        if labels.shape != (len(test),):
+            raise ValueError("labels must align with the test series")
+        if not labels.any():
+            raise ValueError("test data needs at least one anomaly")
+        self._datasets[str(name)] = (train, test, labels)
+        return self
+
+    def run(self):
+        """Evaluate the full grid; returns the result-row list."""
+        if not self._detectors or not self._datasets:
+            raise RuntimeError(
+                "register at least one detector and dataset")
+        self.results = []
+        for dataset_name, (train, test, labels) in \
+                self._datasets.items():
+            for detector_name, factory in self._detectors.items():
+                row = {"detector": detector_name,
+                       "dataset": dataset_name}
+                started = time.perf_counter()
+                try:
+                    detector = factory()
+                    detector.fit(train)
+                    scores = detector.score(test)
+                    if self.point_adjust:
+                        scores = point_adjusted_scores(labels, scores)
+                    row["best_f1"] = best_f1(labels, scores)[0]
+                    row["roc_auc"] = roc_auc(labels, scores)
+                except (ValueError, RuntimeError):
+                    row["best_f1"] = float("nan")
+                    row["roc_auc"] = float("nan")
+                row["seconds"] = time.perf_counter() - started
+                self.results.append(row)
+        return self.results
+
+    def table(self, metric="roc_auc"):
+        """Leaderboard matrix plus mean rank (higher metric = better)."""
+        if not self.results:
+            raise RuntimeError("run() first")
+        if metric not in ("best_f1", "roc_auc"):
+            raise KeyError(f"unknown metric {metric!r}")
+        datasets = sorted({row["dataset"] for row in self.results})
+        detectors = sorted({row["detector"] for row in self.results})
+        values = {
+            (row["detector"], row["dataset"]): row[metric]
+            for row in self.results
+        }
+        matrix = np.array([
+            [values[(detector, dataset)] for dataset in datasets]
+            for detector in detectors
+        ])
+        ranks = np.zeros_like(matrix)
+        for column in range(matrix.shape[1]):
+            scores = matrix[:, column]
+            order = np.argsort(np.where(np.isnan(scores), -np.inf,
+                                        -scores))
+            for rank, detector_index in enumerate(order):
+                ranks[detector_index, column] = rank + 1
+        return {
+            "detectors": detectors,
+            "datasets": datasets,
+            "scores": matrix,
+            "mean_rank": ranks.mean(axis=1),
+        }
+
+    def render(self, metric="roc_auc"):
+        """The leaderboard as an aligned text table."""
+        table = self.table(metric)
+        width = max(len(d) for d in table["detectors"]) + 2
+        header = "detector".ljust(width) + "".join(
+            d.rjust(14) for d in table["datasets"]) \
+            + "mean_rank".rjust(12)
+        lines = [header, "-" * len(header)]
+        order = np.argsort(table["mean_rank"])
+        for index in order:
+            row = table["detectors"][index].ljust(width)
+            row += "".join(
+                f"{value:14.4f}" for value in table["scores"][index])
+            row += f"{table['mean_rank'][index]:12.2f}"
+            lines.append(row)
+        return "\n".join(lines)

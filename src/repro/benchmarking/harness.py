@@ -1,0 +1,134 @@
+"""Unified benchmarking harness (paper §II-C, "benchmarking").
+
+"It is essential to be able to compare such approaches empirically in a
+comprehensive and fair manner, thus calling for benchmarking" — the
+FoundTS-style harness [6, 50]: a model zoo × dataset suite grid, every
+cell evaluated with the *same* protocol (rolling-origin backtesting,
+shared horizons, shared metrics), rendered as a leaderboard table.
+
+Used directly by experiment E24 and by the README quickstart.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .._validation import check_positive
+from ..analytics.forecasting import rolling_origin_evaluation
+from ..analytics.metrics import mae, rmse, smape
+
+__all__ = ["ForecastingLeaderboard"]
+
+
+class ForecastingLeaderboard:
+    """Model-zoo x dataset-suite evaluation grid.
+
+    Parameters
+    ----------
+    horizon / n_origins:
+        The shared rolling-origin protocol.
+    metrics:
+        Mapping ``{name: metric(y_true, y_pred)}``; defaults to MAE,
+        RMSE and sMAPE.
+    """
+
+    def __init__(self, *, horizon=24, n_origins=4, metrics=None):
+        self.horizon = int(check_positive(horizon, "horizon"))
+        self.n_origins = int(check_positive(n_origins, "n_origins"))
+        self.metrics = dict(metrics or {
+            "mae": mae, "rmse": rmse, "smape": smape,
+        })
+        self._models = {}
+        self._datasets = {}
+        self.results = []
+
+    def add_model(self, name, factory):
+        """Register a model as a zero-argument forecaster factory."""
+        if not callable(factory):
+            raise TypeError("factory must be callable")
+        self._models[str(name)] = factory
+        return self
+
+    def add_dataset(self, name, series):
+        """Register an evaluation series."""
+        self._datasets[str(name)] = series
+        return self
+
+    def run(self):
+        """Evaluate the full grid; returns the result-row list.
+
+        Each row: ``{"model", "dataset", "seconds", <metric>...}``.
+        Models that cannot fit a dataset get ``nan`` metrics (recorded,
+        not skipped — a fair benchmark reports failures).
+        """
+        if not self._models or not self._datasets:
+            raise RuntimeError("register at least one model and dataset")
+        self.results = []
+        for dataset_name, series in self._datasets.items():
+            for model_name, factory in self._models.items():
+                row = {"model": model_name, "dataset": dataset_name}
+                started = time.perf_counter()
+                try:
+                    for metric_name, metric in self.metrics.items():
+                        outcome = rolling_origin_evaluation(
+                            factory, series, horizon=self.horizon,
+                            n_origins=self.n_origins, metric=metric,
+                        )
+                        row[metric_name] = outcome["score"]
+                except (ValueError, RuntimeError,
+                        np.linalg.LinAlgError):
+                    for metric_name in self.metrics:
+                        row[metric_name] = float("nan")
+                row["seconds"] = time.perf_counter() - started
+                self.results.append(row)
+        return self.results
+
+    def table(self, metric="mae"):
+        """Leaderboard matrix: one row per model, one column per
+        dataset, plus mean rank (the FoundTS summary statistic)."""
+        if not self.results:
+            raise RuntimeError("run() first")
+        if metric not in self.metrics:
+            raise KeyError(f"unknown metric {metric!r}")
+        datasets = sorted({row["dataset"] for row in self.results})
+        models = sorted({row["model"] for row in self.results})
+        values = {
+            (row["model"], row["dataset"]): row[metric]
+            for row in self.results
+        }
+        matrix = np.array([
+            [values[(model, dataset)] for dataset in datasets]
+            for model in models
+        ])
+        # Mean rank over datasets (nan ranks last).
+        ranks = np.zeros_like(matrix)
+        for column in range(matrix.shape[1]):
+            scores = matrix[:, column]
+            order = np.argsort(np.where(np.isnan(scores), np.inf,
+                                        scores))
+            for rank, model_index in enumerate(order):
+                ranks[model_index, column] = rank + 1
+        return {
+            "models": models,
+            "datasets": datasets,
+            "scores": matrix,
+            "mean_rank": ranks.mean(axis=1),
+        }
+
+    def render(self, metric="mae"):
+        """The leaderboard as an aligned text table."""
+        table = self.table(metric)
+        width = max(len(m) for m in table["models"]) + 2
+        header = "model".ljust(width) + "".join(
+            d.rjust(14) for d in table["datasets"]) + "mean_rank".rjust(12)
+        lines = [header, "-" * len(header)]
+        order = np.argsort(table["mean_rank"])
+        for index in order:
+            row = table["models"][index].ljust(width)
+            row += "".join(
+                f"{value:14.4f}" for value in table["scores"][index])
+            row += f"{table['mean_rank'][index]:12.2f}"
+            lines.append(row)
+        return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""The paradigm of Figure 1: a composable, self-documenting
+Data-Governance-Analytics-Decision pipeline."""
+
+from .pipeline import DecisionPipeline
+from .report import RunReport, StageRecord
+
+__all__ = ["DecisionPipeline", "RunReport", "StageRecord"]

@@ -1,0 +1,81 @@
+"""Structured reports for pipeline runs.
+
+The paradigm of Figure 1 is a *process*; a run of it should leave an
+audit trail — which governance steps ran, what the analytics produced,
+what the decision was and why.  :class:`RunReport` is that trail: an
+ordered list of stage records with a compact textual rendering.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["StageRecord", "RunReport"]
+
+
+class StageRecord:
+    """One pipeline stage's outcome."""
+
+    def __init__(self, layer, name, summary, duration_seconds,
+                 details=None):
+        self.layer = str(layer)
+        self.name = str(name)
+        self.summary = str(summary)
+        self.duration_seconds = float(duration_seconds)
+        self.details = dict(details or {})
+
+    def __repr__(self):
+        return (
+            f"StageRecord({self.layer}/{self.name}: {self.summary} "
+            f"[{self.duration_seconds:.3f}s])"
+        )
+
+
+class RunReport:
+    """Ordered record of one Data-Governance-Analytics-Decision run."""
+
+    _LAYERS = ("data", "governance", "analytics", "decision")
+
+    def __init__(self, title="pipeline run"):
+        self.title = str(title)
+        self.records = []
+        self._started = time.perf_counter()
+
+    def add(self, layer, name, summary, duration_seconds, **details):
+        if layer not in self._LAYERS:
+            raise ValueError(
+                f"layer must be one of {self._LAYERS}, got {layer!r}"
+            )
+        record = StageRecord(layer, name, summary, duration_seconds,
+                             details)
+        self.records.append(record)
+        return record
+
+    def stages(self, layer=None):
+        """Records, optionally filtered to one layer."""
+        if layer is None:
+            return list(self.records)
+        return [r for r in self.records if r.layer == layer]
+
+    @property
+    def total_seconds(self):
+        return sum(r.duration_seconds for r in self.records)
+
+    def render(self):
+        """Human-readable multi-line summary."""
+        lines = [f"=== {self.title} ==="]
+        for layer in self._LAYERS:
+            records = self.stages(layer)
+            if not records:
+                continue
+            lines.append(f"[{layer}]")
+            for record in records:
+                lines.append(
+                    f"  {record.name}: {record.summary} "
+                    f"({record.duration_seconds:.3f}s)"
+                )
+        lines.append(f"total stage time: {self.total_seconds:.3f}s")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"RunReport(title={self.title!r}, stages={len(self.records)})"

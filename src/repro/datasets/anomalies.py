@@ -1,0 +1,130 @@
+"""Anomaly injection for detection experiments.
+
+The robust-anomaly-detection line of the paper ([34, 35, 41, 42])
+evaluates detectors on series with labelled outliers and — crucially —
+on *contaminated training data*.  This module injects the three
+classical anomaly shapes with ground-truth labels:
+
+* **point** anomalies: isolated spikes,
+* **contextual** anomalies: values that are normal globally but wrong
+  for their position in the seasonal cycle,
+* **collective** anomalies: contiguous windows replaced by an abnormal
+  regime (flatline or level shift).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_fraction, ensure_rng
+from ..datatypes import TimeSeries
+
+__all__ = ["inject_anomalies", "seasonal_series"]
+
+
+def seasonal_series(n_steps=2000, *, period=96, amplitude=2.0,
+                    noise_scale=0.3, n_channels=1, rng=None):
+    """A clean seasonal baseline series for detection experiments."""
+    if n_steps < period:
+        raise ValueError("n_steps must cover at least one period")
+    rng = ensure_rng(rng)
+    t = np.arange(n_steps)
+    columns = []
+    for channel in range(n_channels):
+        phase = 2 * np.pi * channel / max(n_channels, 1)
+        wave = amplitude * np.sin(2 * np.pi * t / period + phase)
+        wave = wave + 0.4 * amplitude * np.sin(4 * np.pi * t / period + phase)
+        columns.append(wave + rng.normal(0.0, noise_scale, size=n_steps))
+    values = np.column_stack(columns)
+    return TimeSeries(values, name="seasonal")
+
+
+def inject_anomalies(
+    series,
+    contamination=0.05,
+    *,
+    kinds=("point", "contextual", "collective"),
+    magnitude=4.0,
+    collective_length=12,
+    period=96,
+    rng=None,
+):
+    """Inject labelled anomalies into a :class:`TimeSeries`.
+
+    Parameters
+    ----------
+    series:
+        The clean input series (all channels are corrupted together at a
+        given timestamp).
+    contamination:
+        Fraction of timestamps to corrupt.
+    kinds:
+        Which anomaly shapes to draw from (uniformly).
+    magnitude:
+        Spike size in units of the per-channel standard deviation.
+    collective_length:
+        Length of collective-anomaly windows.
+    period:
+        Seasonal period used to construct contextual anomalies (the value
+        is borrowed from half a period away).
+
+    Returns
+    -------
+    (TimeSeries, numpy.ndarray)
+        The corrupted series and a boolean label array of shape
+        ``(len(series),)`` marking anomalous timestamps.
+    """
+    contamination = check_fraction(contamination, "contamination",
+                                   inclusive_high=False)
+    if not kinds:
+        raise ValueError("kinds must not be empty")
+    unknown = set(kinds) - {"point", "contextual", "collective"}
+    if unknown:
+        raise ValueError(f"unknown anomaly kinds: {sorted(unknown)}")
+    rng = ensure_rng(rng)
+
+    values = series.values
+    n_steps, n_channels = values.shape
+    labels = np.zeros(n_steps, dtype=bool)
+    scale = np.nanstd(values, axis=0)
+    scale[scale == 0] = 1.0
+
+    target = int(round(contamination * n_steps))
+    guard = 0
+    while labels.sum() < target and guard < 50 * n_steps:
+        guard += 1
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        if kind == "point":
+            index = int(rng.integers(0, n_steps))
+            if labels[index]:
+                continue
+            sign = rng.choice([-1.0, 1.0])
+            values[index] += sign * magnitude * scale
+            labels[index] = True
+        elif kind == "contextual":
+            index = int(rng.integers(0, n_steps))
+            source = (index + period // 2) % n_steps
+            if labels[index]:
+                continue
+            values[index] = values[source]
+            labels[index] = True
+        else:  # collective
+            start = int(rng.integers(0, max(1, n_steps - collective_length)))
+            stop = min(start + collective_length, n_steps)
+            if labels[start:stop].any():
+                continue
+            mode = rng.choice(["flat", "shift"])
+            if mode == "flat":
+                # Stuck-at fault: the sensor freezes at an arbitrary
+                # level within its historical range (freezing at the
+                # locally-correct level would be unobservable).
+                low = np.nanmin(values, axis=0)
+                high = np.nanmax(values, axis=0)
+                values[start:stop] = low + rng.random(n_channels) * (
+                    high - low)
+            else:
+                values[start:stop] += magnitude * 0.75 * scale
+            labels[start:stop] = True
+
+    corrupted = series.with_values(values)
+    return corrupted, labels

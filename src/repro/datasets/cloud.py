@@ -1,0 +1,104 @@
+"""Cloud resource-demand workloads (the MagicScaler [6] scenario).
+
+Generates request-rate series with the features the paper's autoscaling
+example depends on: diurnal/weekly seasonality, slowly drifting load
+levels, heavy-tailed noise, and *unexpected surges* — short bursts whose
+onset is unpredictable but whose decay is smooth, which is what makes
+uncertainty-aware forecasting valuable for scaling decisions (E23).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive, ensure_rng
+from ..datatypes import TimeSeries
+
+__all__ = ["cloud_demand_dataset"]
+
+
+def cloud_demand_dataset(
+    n_days=14,
+    interval_minutes=10,
+    *,
+    base_level=100.0,
+    daily_amplitude=40.0,
+    burst_rate_per_day=1.5,
+    burst_scale=120.0,
+    noise_scale=6.0,
+    drift_per_day=0.0,
+    daily_spike_height=0.0,
+    daily_spike_hour=18.0,
+    rng=None,
+):
+    """Generate a univariate demand series.
+
+    Parameters
+    ----------
+    n_days / interval_minutes:
+        Length and resolution of the series.
+    base_level / daily_amplitude:
+        Mean demand and the size of the diurnal swing.
+    burst_rate_per_day:
+        Expected number of surge events per day (Poisson).
+    burst_scale:
+        Mean peak height of a surge (exponential).
+    noise_scale:
+        Scale of the multiplicative-ish Gaussian noise floor.
+    drift_per_day:
+        Linear growth of the base level, for distribution-shift
+        experiments (E13, E16).
+    daily_spike_height / daily_spike_hour:
+        Optional sharp *recurring* load spike (scheduled batch jobs,
+        shop-opening rushes): tall, narrow, and at the same time every
+        day — predictable for a model that learns the calendar,
+        punishing for a purely reactive scaler.
+
+    Returns
+    -------
+    (TimeSeries, numpy.ndarray)
+        The demand series and a boolean array flagging burst timesteps
+        (ground truth for evaluating surge handling).
+    """
+    check_positive(n_days, "n_days")
+    check_positive(interval_minutes, "interval_minutes")
+    rng = ensure_rng(rng)
+
+    steps_per_day = (24 * 60) // int(interval_minutes)
+    n_steps = int(n_days * steps_per_day)
+    step_minutes = np.arange(n_steps) * interval_minutes
+    minute_of_day = step_minutes % (24 * 60)
+    day_index = step_minutes // (24 * 60)
+
+    # Office-hours hump plus an evening shoulder.
+    hour = minute_of_day / 60.0
+    diurnal = (
+        np.exp(-0.5 * ((hour - 14.0) / 3.5) ** 2)
+        + 0.45 * np.exp(-0.5 * ((hour - 20.5) / 1.8) ** 2)
+    )
+    weekend = (day_index % 7) >= 5
+    seasonal = daily_amplitude * diurnal * np.where(weekend, 0.55, 1.0)
+
+    demand = base_level + seasonal + drift_per_day * (step_minutes / (24 * 60))
+    if daily_spike_height > 0:
+        spike = np.exp(-0.5 * ((hour - daily_spike_hour) / 0.35) ** 2)
+        demand = demand + daily_spike_height * spike
+    demand = demand + rng.normal(0.0, noise_scale, size=n_steps)
+
+    # Poisson surge arrivals with fast rise / exponential decay.
+    burst_mask = np.zeros(n_steps, dtype=bool)
+    n_bursts = rng.poisson(burst_rate_per_day * n_days)
+    for _ in range(int(n_bursts)):
+        start = int(rng.integers(0, n_steps))
+        height = rng.exponential(burst_scale)
+        decay_steps = int(rng.integers(steps_per_day // 24,
+                                       steps_per_day // 4) + 1)
+        stop = min(start + decay_steps, n_steps)
+        span = np.arange(stop - start)
+        demand[start:stop] += height * np.exp(-3.0 * span / max(len(span), 1))
+        burst_mask[start:stop] = True
+
+    demand = np.clip(demand, 0.0, None)
+    series = TimeSeries(demand, timestamps=step_minutes.astype(float),
+                        name="cloud_demand")
+    return series, burst_mask

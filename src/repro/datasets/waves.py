@@ -1,0 +1,95 @@
+"""Spatio-temporal wave-height fields with sparse buoy sampling.
+
+Stands in for the ocean significant-wave-height scenario of [2]: a
+smooth global field is observed only at a handful of buoy locations, and
+the governance layer must complete the rest.  The generative field is a
+sum of travelling swells plus a slowly moving storm system, so it has
+exactly the locality and temporal coherence the completion methods
+exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_fraction, ensure_rng
+from ..datatypes import ImageSequence
+
+__all__ = ["wave_field_dataset", "sparse_buoy_observations"]
+
+
+def wave_field_dataset(n_frames=48, grid=(16, 16), *, n_swells=3,
+                       storm=True, rng=None):
+    """Generate a smooth spatio-temporal field as an :class:`ImageSequence`.
+
+    Parameters
+    ----------
+    n_frames:
+        Number of time steps.
+    grid:
+        Spatial extent ``(N, M)``.
+    n_swells:
+        Number of superimposed travelling sinusoidal swells.
+    storm:
+        Whether to add a moving Gaussian storm bump.
+    """
+    if n_frames < 2:
+        raise ValueError("need at least two frames")
+    rows, cols = grid
+    if rows < 2 or cols < 2:
+        raise ValueError("grid must be at least 2x2")
+    rng = ensure_rng(rng)
+
+    y, x = np.mgrid[0:rows, 0:cols]
+    field = np.zeros((n_frames, rows, cols))
+    for _ in range(int(n_swells)):
+        kx = rng.uniform(0.2, 0.8)
+        ky = rng.uniform(0.2, 0.8)
+        omega = rng.uniform(0.1, 0.5)
+        amplitude = rng.uniform(0.4, 1.0)
+        phase = rng.uniform(0, 2 * np.pi)
+        for t in range(n_frames):
+            field[t] += amplitude * np.sin(
+                kx * x + ky * y - omega * t + phase
+            )
+
+    if storm:
+        cx0, cy0 = rng.uniform(0, cols), rng.uniform(0, rows)
+        vx, vy = rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3)
+        height = rng.uniform(2.0, 3.5)
+        width = rng.uniform(2.0, 4.0)
+        for t in range(n_frames):
+            cx, cy = cx0 + vx * t, cy0 + vy * t
+            field[t] += height * np.exp(
+                -((x - cx) ** 2 + (y - cy) ** 2) / (2 * width ** 2)
+            )
+
+    field += 2.5  # mean significant wave height offset
+    return ImageSequence(field)
+
+
+def sparse_buoy_observations(sequence, observed_fraction=0.1, rng=None):
+    """Keep only a random subset of grid cells (the "buoys").
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        ``observed`` of shape ``(T, N, M)`` with nan at unobserved cells,
+        and the boolean buoy mask of shape ``(N, M)`` (static: the same
+        cells are instrumented in every frame, like real buoys).
+    """
+    observed_fraction = check_fraction(observed_fraction,
+                                       "observed_fraction",
+                                       inclusive_low=False)
+    rng = ensure_rng(rng)
+    frames = sequence.frames[..., 0]
+    _, rows, cols = frames.shape
+    n_cells = rows * cols
+    n_buoys = max(1, int(round(observed_fraction * n_cells)))
+    chosen = rng.choice(n_cells, size=n_buoys, replace=False)
+    mask = np.zeros(n_cells, dtype=bool)
+    mask[chosen] = True
+    mask = mask.reshape(rows, cols)
+    observed = frames.copy()
+    observed[:, ~mask] = np.nan
+    return observed, mask

@@ -1,0 +1,17 @@
+"""Data foundations (paper §II-A): the four data types of Definitions 1-4
+plus the road-network substrate the running examples live on."""
+
+from .correlated import CorrelatedTimeSeries
+from .image_sequence import ImageSequence
+from .roadnetwork import RoadNetwork
+from .timeseries import TimeSeries
+from .trajectory import GpsPoint, Trajectory
+
+__all__ = [
+    "CorrelatedTimeSeries",
+    "GpsPoint",
+    "ImageSequence",
+    "RoadNetwork",
+    "TimeSeries",
+    "Trajectory",
+]

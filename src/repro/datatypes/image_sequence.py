@@ -1,0 +1,131 @@
+"""Image sequences (paper Definition 4).
+
+An image sequence ``V = <I_1, ..., I_T>`` is a grid-based spatio-temporal
+representation: each frame is an ``N x M`` grid of spatial regions with
+``C`` observed properties per cell (e.g. citywide crowd in/out flows
+[18, 19]).  The type offers the frame/cell accessors and the
+grid-to-series conversions used by the fusion and forecasting layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .timeseries import TimeSeries
+
+__all__ = ["ImageSequence"]
+
+
+class ImageSequence:
+    """A sequence of ``T`` frames, each an ``(N, M, C)`` grid.
+
+    Parameters
+    ----------
+    frames:
+        Array of shape ``(T, N, M)`` or ``(T, N, M, C)``.
+    timestamps:
+        Optional shape ``(T,)`` strictly increasing time axis.
+    """
+
+    def __init__(self, frames, timestamps=None):
+        array = np.asarray(frames, dtype=float)
+        if array.ndim == 3:
+            array = array[..., None]
+        if array.ndim != 4:
+            raise ValueError(
+                f"frames must have shape (T, N, M[, C]), got {array.shape}"
+            )
+        if 0 in array.shape:
+            raise ValueError("frames must be non-empty in every dimension")
+        self._frames = array.copy()
+
+        if timestamps is None:
+            self._timestamps = np.arange(array.shape[0], dtype=float)
+        else:
+            self._timestamps = np.asarray(timestamps, dtype=float)
+            if self._timestamps.shape != (array.shape[0],):
+                raise ValueError(
+                    f"timestamps must have shape ({array.shape[0]},), "
+                    f"got {self._timestamps.shape}"
+                )
+            if np.any(np.diff(self._timestamps) <= 0):
+                raise ValueError("timestamps must be strictly increasing")
+
+    # -- protocol --------------------------------------------------------
+
+    def __len__(self):
+        return self._frames.shape[0]
+
+    def __repr__(self):
+        t, n, m, c = self._frames.shape
+        return f"ImageSequence(frames={t}, grid={n}x{m}, channels={c})"
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def frames(self):
+        """Array of shape ``(T, N, M, C)``."""
+        return self._frames.copy()
+
+    @property
+    def timestamps(self):
+        return self._timestamps.copy()
+
+    @property
+    def grid_shape(self):
+        """The ``(N, M)`` spatial extent."""
+        return self._frames.shape[1:3]
+
+    @property
+    def n_channels(self):
+        return self._frames.shape[3]
+
+    def frame(self, index):
+        """Frame ``index`` as an ``(N, M, C)`` array."""
+        return self._frames[index].copy()
+
+    def cell_series(self, row, col, channel=0):
+        """The temporal evolution of one grid cell as a :class:`TimeSeries`."""
+        n, m = self.grid_shape
+        if not (0 <= row < n and 0 <= col < m):
+            raise IndexError(f"cell ({row}, {col}) outside grid {n}x{m}")
+        if not 0 <= channel < self.n_channels:
+            raise IndexError(f"channel {channel} out of range")
+        return TimeSeries(
+            self._frames[:, row, col, channel],
+            timestamps=self._timestamps,
+            name=f"cell_{row}_{col}",
+        )
+
+    def to_timeseries(self, channel=0):
+        """Flatten the grid into an ``(T, N*M)`` multivariate series.
+
+        Cell ``(r, c)`` maps to column ``r * M + c``; this is the format
+        the correlated-time-series analytics consume.
+        """
+        t, n, m, _ = self._frames.shape
+        flat = self._frames[..., channel].reshape(t, n * m)
+        return TimeSeries(flat, timestamps=self._timestamps)
+
+    def spatial_mean(self, channel=0):
+        """Per-frame mean over the grid — a citywide aggregate series."""
+        means = self._frames[..., channel].mean(axis=(1, 2))
+        return TimeSeries(means, timestamps=self._timestamps, name="grid_mean")
+
+    def downsample(self, factor):
+        """Spatially pool ``factor x factor`` blocks by averaging.
+
+        Grid dimensions must be divisible by ``factor``; this mirrors the
+        multi-granularity views used by cross-modal pretraining [22, 23].
+        """
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        t, n, m, c = self._frames.shape
+        if n % factor or m % factor:
+            raise ValueError(
+                f"grid {n}x{m} not divisible by factor {factor}"
+            )
+        blocks = self._frames.reshape(t, n // factor, factor, m // factor,
+                                      factor, c)
+        pooled = blocks.mean(axis=(2, 4))
+        return ImageSequence(pooled, timestamps=self._timestamps)

@@ -1,0 +1,265 @@
+"""Road networks: the spatial substrate for the paper's running examples.
+
+The tutorial's flagship decision task is stochastic route planning over
+an uncertain road network (the autonomous-taxi-to-airport example of
+§I).  :class:`RoadNetwork` provides the directed, spatially-embedded
+graph all of those components share: nodes with planar coordinates,
+edges with lengths, geometric queries for map matching, and classic
+path utilities.
+
+The paper's systems run on real networks (OpenStreetMap extracts); the
+generators here (:meth:`RoadNetwork.grid`,
+:meth:`RoadNetwork.random_geometric`) synthesize networks with the same
+structural features — bounded degree, planar embedding, alternative
+routes between most origin-destination pairs — with known ground truth.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+import networkx as nx
+import numpy as np
+
+from .._validation import ensure_rng
+
+__all__ = ["RoadNetwork"]
+
+
+class RoadNetwork:
+    """A directed, spatially embedded road graph.
+
+    Nodes are arbitrary hashables with a ``pos=(x, y)`` attribute; edges
+    carry at least a positive ``length``.  Additional per-edge data (speed
+    distributions, observed weights) is attached by the governance layer.
+    """
+
+    def __init__(self, graph=None):
+        self._graph = graph if graph is not None else nx.DiGraph()
+        for node, data in self._graph.nodes(data=True):
+            if "pos" not in data:
+                raise ValueError(f"node {node!r} is missing a 'pos' attribute")
+        for u, v, data in self._graph.edges(data=True):
+            if data.get("length", 0) <= 0:
+                raise ValueError(f"edge ({u!r}, {v!r}) needs a positive length")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def grid(cls, rows, cols, spacing=1.0, *, bidirectional=True):
+        """A ``rows x cols`` Manhattan grid with edge length ``spacing``.
+
+        Nodes are ``(r, c)`` tuples positioned at ``(c*spacing, r*spacing)``.
+        """
+        if rows < 2 or cols < 2:
+            raise ValueError("grid needs at least 2 rows and 2 columns")
+        graph = nx.DiGraph()
+        for r in range(rows):
+            for c in range(cols):
+                graph.add_node((r, c), pos=(c * spacing, r * spacing))
+        for r in range(rows):
+            for c in range(cols):
+                for dr, dc in ((0, 1), (1, 0)):
+                    rr, cc = r + dr, c + dc
+                    if rr < rows and cc < cols:
+                        graph.add_edge((r, c), (rr, cc), length=spacing)
+                        if bidirectional:
+                            graph.add_edge((rr, cc), (r, c), length=spacing)
+        return cls(graph)
+
+    @classmethod
+    def random_geometric(cls, n_nodes, radius, rng=None, *, size=10.0):
+        """Random geometric graph on ``[0, size]^2`` with connect radius.
+
+        Keeps only the largest strongly connected component so every pair
+        of retained nodes is mutually reachable.
+        """
+        if n_nodes < 2:
+            raise ValueError("need at least two nodes")
+        rng = ensure_rng(rng)
+        coords = rng.uniform(0.0, size, size=(n_nodes, 2))
+        graph = nx.DiGraph()
+        for i, (x, y) in enumerate(coords):
+            graph.add_node(i, pos=(float(x), float(y)))
+        for i in range(n_nodes):
+            for j in range(i + 1, n_nodes):
+                distance = float(np.linalg.norm(coords[i] - coords[j]))
+                if distance <= radius and distance > 0:
+                    graph.add_edge(i, j, length=distance)
+                    graph.add_edge(j, i, length=distance)
+        components = list(nx.strongly_connected_components(graph))
+        if not components:
+            raise ValueError("generated graph has no edges; increase radius")
+        largest = max(components, key=len)
+        if len(largest) < 2:
+            raise ValueError("generated graph is too sparse; increase radius")
+        return cls(graph.subgraph(largest).copy())
+
+    # -- protocol -----------------------------------------------------------
+
+    def __repr__(self):
+        return f"RoadNetwork(nodes={self.n_nodes}, edges={self.n_edges})"
+
+    @property
+    def graph(self):
+        """The underlying :class:`networkx.DiGraph` (shared, not copied)."""
+        return self._graph
+
+    @property
+    def n_nodes(self):
+        return self._graph.number_of_nodes()
+
+    @property
+    def n_edges(self):
+        return self._graph.number_of_edges()
+
+    def nodes(self):
+        return list(self._graph.nodes())
+
+    def edges(self):
+        """All edges as ``(u, v)`` tuples."""
+        return list(self._graph.edges())
+
+    def position(self, node):
+        """The ``(x, y)`` coordinates of ``node``."""
+        return tuple(self._graph.nodes[node]["pos"])
+
+    def edge_length(self, u, v):
+        return float(self._graph.edges[u, v]["length"])
+
+    def has_edge(self, u, v):
+        return self._graph.has_edge(u, v)
+
+    def successors(self, node):
+        return list(self._graph.successors(node))
+
+    def set_edge_attribute(self, u, v, key, value):
+        """Attach governance data (weights, distributions) to an edge."""
+        if not self._graph.has_edge(u, v):
+            raise KeyError(f"no edge ({u!r}, {v!r})")
+        self._graph.edges[u, v][key] = value
+
+    def edge_attribute(self, u, v, key, default=None):
+        if not self._graph.has_edge(u, v):
+            raise KeyError(f"no edge ({u!r}, {v!r})")
+        return self._graph.edges[u, v].get(key, default)
+
+    # -- geometry ------------------------------------------------------------
+
+    def edge_endpoints(self, u, v):
+        """Coordinates of both endpoints as two ``(x, y)`` tuples."""
+        return self.position(u), self.position(v)
+
+    def project_point(self, point, u, v):
+        """Project planar ``point`` onto segment ``(u, v)``.
+
+        Returns ``(distance, fraction)`` — the perpendicular distance from
+        the point to the segment and the position along it in ``[0, 1]``.
+        Used by HMM map matching for emission probabilities.
+        """
+        (x1, y1), (x2, y2) = self.edge_endpoints(u, v)
+        px, py = point
+        dx, dy = x2 - x1, y2 - y1
+        norm2 = dx * dx + dy * dy
+        if norm2 == 0:
+            return math.hypot(px - x1, py - y1), 0.0
+        fraction = ((px - x1) * dx + (py - y1) * dy) / norm2
+        fraction = min(max(fraction, 0.0), 1.0)
+        cx, cy = x1 + fraction * dx, y1 + fraction * dy
+        return math.hypot(px - cx, py - cy), fraction
+
+    def point_on_edge(self, u, v, fraction):
+        """The coordinates at ``fraction`` of the way from ``u`` to ``v``."""
+        (x1, y1), (x2, y2) = self.edge_endpoints(u, v)
+        fraction = min(max(fraction, 0.0), 1.0)
+        return (x1 + fraction * (x2 - x1), y1 + fraction * (y2 - y1))
+
+    def candidate_edges(self, point, radius):
+        """Edges whose segment passes within ``radius`` of ``point``.
+
+        Returns ``[(u, v, distance, fraction), ...]`` sorted by distance.
+        """
+        candidates = []
+        for u, v in self._graph.edges():
+            distance, fraction = self.project_point(point, u, v)
+            if distance <= radius:
+                candidates.append((u, v, distance, fraction))
+        candidates.sort(key=lambda item: item[2])
+        return candidates
+
+    def nearest_node(self, point):
+        """The node closest to planar ``point``."""
+        px, py = point
+        best, best_distance = None, math.inf
+        for node in self._graph.nodes():
+            x, y = self.position(node)
+            distance = math.hypot(px - x, py - y)
+            if distance < best_distance:
+                best, best_distance = node, distance
+        return best
+
+    # -- paths ----------------------------------------------------------------
+
+    def shortest_path(self, source, target, weight="length"):
+        """Dijkstra shortest path as a node list."""
+        return nx.dijkstra_path(self._graph, source, target, weight=weight)
+
+    def shortest_path_length(self, source, target, weight="length"):
+        return nx.dijkstra_path_length(self._graph, source, target,
+                                       weight=weight)
+
+    def k_shortest_paths(self, source, target, k, weight="length"):
+        """The ``k`` shortest simple paths (Yen's algorithm via networkx)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        generator = nx.shortest_simple_paths(self._graph, source, target,
+                                             weight=weight)
+        return list(itertools.islice(generator, k))
+
+    def path_edges(self, path):
+        """Convert a node path into its ``(u, v)`` edge list."""
+        if len(path) < 2:
+            raise ValueError("a path needs at least two nodes")
+        edge_list = list(zip(path, path[1:]))
+        for u, v in edge_list:
+            if not self._graph.has_edge(u, v):
+                raise ValueError(f"path uses missing edge ({u!r}, {v!r})")
+        return edge_list
+
+    def path_length(self, path, weight="length"):
+        """Total weight along a node path."""
+        return float(
+            sum(self._graph.edges[u, v][weight] for u, v in self.path_edges(path))
+        )
+
+    def route_distance(self, path_a, path_b):
+        """Dissimilarity of two node paths: 1 - Jaccard of their edge sets.
+
+        Used to compare an imitated route to the expert route (E22) and a
+        matched route to ground truth (E6).
+        """
+        edges_a = set(self.path_edges(path_a))
+        edges_b = set(self.path_edges(path_b))
+        union = edges_a | edges_b
+        if not union:
+            return 0.0
+        return 1.0 - len(edges_a & edges_b) / len(union)
+
+    def dijkstra_all(self, source, weight="length"):
+        """Distances from ``source`` to every reachable node (lazy heap)."""
+        distances = {source: 0.0}
+        heap = [(0.0, source)]
+        visited = set()
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            for succ in self._graph.successors(node):
+                cost = d + float(self._graph.edges[node, succ][weight])
+                if cost < distances.get(succ, math.inf):
+                    distances[succ] = cost
+                    heapq.heappush(heap, (cost, succ))
+        return distances

@@ -1,0 +1,271 @@
+"""Time series data type (paper Definition 1).
+
+A :class:`TimeSeries` captures ``C`` properties observed at ``M``
+timestamps: ``X = <s_1, ..., s_M>`` with ``s_i`` a C-dimensional vector.
+Missing observations are first-class: the class carries an explicit
+boolean mask so governance components (imputation, uncertainty
+quantification) can reason about *what is unknown*, which the paper's
+governance layer requires.
+
+Invariants
+----------
+* ``values.shape == (M, C)`` and ``timestamps.shape == (M,)``.
+* ``timestamps`` is strictly increasing.
+* ``mask.shape == values.shape``; ``mask[i, c]`` is True where the value
+  is observed.  Unobserved entries hold ``nan`` in ``values``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """A (possibly multivariate, possibly gappy) regular time series.
+
+    Parameters
+    ----------
+    values:
+        Array-like of shape ``(M,)`` or ``(M, C)``.  ``nan`` entries are
+        interpreted as missing.
+    timestamps:
+        Optional array of shape ``(M,)`` with strictly increasing time
+        coordinates.  Defaults to ``0..M-1``.
+    mask:
+        Optional explicit observation mask.  Defaults to ``~isnan(values)``.
+    name:
+        Optional human-readable identifier.
+    """
+
+    def __init__(self, values, timestamps=None, mask=None, name=None):
+        array = np.asarray(values, dtype=float)
+        if array.ndim == 1:
+            array = array[:, None]
+        if array.ndim != 2:
+            raise ValueError(
+                f"values must be 1- or 2-dimensional, got shape {array.shape}"
+            )
+        if array.shape[0] == 0:
+            raise ValueError("a TimeSeries needs at least one timestamp")
+        self._values = array.copy()
+
+        if timestamps is None:
+            self._timestamps = np.arange(array.shape[0], dtype=float)
+        else:
+            self._timestamps = as_float_array(timestamps, "timestamps", ndim=1)
+            if self._timestamps.shape[0] != array.shape[0]:
+                raise ValueError(
+                    "timestamps length must match the number of observations: "
+                    f"{self._timestamps.shape[0]} != {array.shape[0]}"
+                )
+            if np.any(np.diff(self._timestamps) <= 0):
+                raise ValueError("timestamps must be strictly increasing")
+
+        if mask is None:
+            self._mask = ~np.isnan(self._values)
+        else:
+            self._mask = np.asarray(mask, dtype=bool)
+            if self._mask.shape != self._values.shape:
+                raise ValueError(
+                    "mask shape must match values shape: "
+                    f"{self._mask.shape} != {self._values.shape}"
+                )
+            self._values[~self._mask] = np.nan
+        if np.any(np.isnan(self._values) & self._mask):
+            raise ValueError("mask marks nan entries as observed")
+
+        self.name = name
+
+    # -- basic protocol ------------------------------------------------
+
+    def __len__(self):
+        return self._values.shape[0]
+
+    def __repr__(self):
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"TimeSeries{label}(length={len(self)}, channels={self.n_channels}, "
+            f"missing={self.missing_fraction():.1%})"
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return (
+            self._values.shape == other._values.shape
+            and np.array_equal(self._mask, other._mask)
+            and np.array_equal(self._timestamps, other._timestamps)
+            and np.array_equal(
+                self._values[self._mask], other._values[other._mask]
+            )
+        )
+
+    # -- accessors -----------------------------------------------------
+
+    @property
+    def values(self):
+        """Observation matrix of shape ``(M, C)``; missing entries are nan."""
+        return self._values.copy()
+
+    @property
+    def timestamps(self):
+        """Time coordinates of shape ``(M,)``."""
+        return self._timestamps.copy()
+
+    @property
+    def mask(self):
+        """Boolean observation mask of shape ``(M, C)``."""
+        return self._mask.copy()
+
+    @property
+    def n_channels(self):
+        """Number of observed properties ``C``."""
+        return self._values.shape[1]
+
+    @property
+    def is_univariate(self):
+        return self.n_channels == 1
+
+    def channel(self, index):
+        """Return channel ``index`` as a univariate :class:`TimeSeries`."""
+        if not -self.n_channels <= index < self.n_channels:
+            raise IndexError(
+                f"channel {index} out of range for {self.n_channels} channels"
+            )
+        return TimeSeries(
+            self._values[:, index],
+            timestamps=self._timestamps,
+            name=self.name,
+        )
+
+    def missing_fraction(self):
+        """Fraction of entries that are unobserved."""
+        return 1.0 - self._mask.mean()
+
+    def is_complete(self):
+        """True when every entry is observed."""
+        return bool(self._mask.all())
+
+    # -- transformations -----------------------------------------------
+
+    def with_values(self, values, *, mask=None):
+        """Return a copy carrying new ``values`` on the same time axis."""
+        return TimeSeries(values, timestamps=self._timestamps, mask=mask,
+                          name=self.name)
+
+    def slice(self, start, stop):
+        """Return observations with index in ``[start, stop)``."""
+        if not 0 <= start < stop <= len(self):
+            raise ValueError(
+                f"invalid slice [{start}, {stop}) for length {len(self)}"
+            )
+        return TimeSeries(
+            self._values[start:stop],
+            timestamps=self._timestamps[start:stop],
+            name=self.name,
+        )
+
+    def split(self, fraction):
+        """Split into (head, tail) at ``fraction`` of the length.
+
+        Used for train/test splits throughout the analytics layer.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction!r}")
+        cut = int(round(len(self) * fraction))
+        cut = min(max(cut, 1), len(self) - 1)
+        return self.slice(0, cut), self.slice(cut, len(self))
+
+    def drop_missing(self):
+        """Return the sub-series of rows where *every* channel is observed."""
+        keep = self._mask.all(axis=1)
+        if not keep.any():
+            raise ValueError("no fully-observed rows to keep")
+        return TimeSeries(
+            self._values[keep],
+            timestamps=self._timestamps[keep],
+            name=self.name,
+        )
+
+    def windows(self, length, stride=1):
+        """Yield fixed-length sliding windows as ``(M', C)`` arrays.
+
+        Only the values are returned; windows may contain nan where data
+        is missing.  Used by window-based detectors and forecasters.
+        """
+        if length < 1 or length > len(self):
+            raise ValueError(
+                f"window length {length} invalid for series of length {len(self)}"
+            )
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        for start in range(0, len(self) - length + 1, stride):
+            yield self._values[start:start + length]
+
+    def window_matrix(self, length, stride=1):
+        """Stack :meth:`windows` into an array of shape ``(n, length, C)``."""
+        stacked = list(self.windows(length, stride))
+        return np.stack(stacked, axis=0)
+
+    def diff(self):
+        """First difference (length shrinks by one); mask propagates."""
+        values = self._values[1:] - self._values[:-1]
+        return TimeSeries(values, timestamps=self._timestamps[1:],
+                          name=self.name)
+
+    def standardized(self):
+        """Return (zscored_series, mean, std) using observed entries only.
+
+        Channels with zero variance are left unscaled (std treated as 1)
+        so the transform is always invertible.
+        """
+        mean = np.zeros(self.n_channels)
+        std = np.ones(self.n_channels)
+        for column in range(self.n_channels):
+            observed = self._values[self._mask[:, column], column]
+            if observed.size:
+                mean[column] = observed.mean()
+                deviation = observed.std()
+                if deviation > 0:
+                    std[column] = deviation
+        scaled = (self._values - mean) / std
+        return self.with_values(scaled, mask=self._mask), mean, std
+
+    def corrupt(self, missing_rate, rng, *, block_length=1):
+        """Return a copy with entries removed at random (for experiments).
+
+        Parameters
+        ----------
+        missing_rate:
+            Target fraction of entries to remove, in ``[0, 1)``.
+        rng:
+            A :class:`numpy.random.Generator`.
+        block_length:
+            When > 1, drop contiguous runs of this length (sensor-outage
+            style gaps) instead of independent entries.
+        """
+        if not 0.0 <= missing_rate < 1.0:
+            raise ValueError(
+                f"missing_rate must be in [0, 1), got {missing_rate!r}"
+            )
+        mask = self._mask.copy()
+        n_rows, n_cols = mask.shape
+        target = int(round(missing_rate * mask.size))
+        removed = 0
+        guard = 0
+        while removed < target and guard < 100 * mask.size:
+            guard += 1
+            row = int(rng.integers(0, n_rows))
+            col = int(rng.integers(0, n_cols))
+            stop = min(row + block_length, n_rows)
+            run = mask[row:stop, col]
+            removed += int(run.sum())
+            run[:] = False
+        values = self._values.copy()
+        values[~mask] = np.nan
+        return TimeSeries(values, timestamps=self._timestamps, mask=mask,
+                          name=self.name)

@@ -1,0 +1,178 @@
+"""Trajectories (paper Definition 3).
+
+A trajectory is a sequence of ``(location, time)`` pairs capturing the
+positions of a moving object.  Trajectories are the raw material for map
+matching (governance), path representation learning (analytics), and
+learning-based routing (decision making), so the type carries the
+operations those layers need: resampling, noise injection, length/
+duration accessors, and conversion to edge paths once matched to a road
+network.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._validation import ensure_rng
+
+__all__ = ["GpsPoint", "Trajectory"]
+
+
+class GpsPoint:
+    """A single timestamped location sample."""
+
+    __slots__ = ("x", "y", "t")
+
+    def __init__(self, x, y, t):
+        self.x = float(x)
+        self.y = float(y)
+        self.t = float(t)
+
+    def distance_to(self, other):
+        """Euclidean distance to another point (planar coordinates)."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def __repr__(self):
+        return f"GpsPoint(x={self.x:.3f}, y={self.y:.3f}, t={self.t:.1f})"
+
+    def __eq__(self, other):
+        if not isinstance(other, GpsPoint):
+            return NotImplemented
+        return (self.x, self.y, self.t) == (other.x, other.y, other.t)
+
+    def __hash__(self):
+        return hash((self.x, self.y, self.t))
+
+
+class Trajectory:
+    """An ordered sequence of :class:`GpsPoint` with increasing timestamps.
+
+    Parameters
+    ----------
+    points:
+        Iterable of :class:`GpsPoint` or ``(x, y, t)`` triples.
+    object_id:
+        Optional identifier of the moving object.
+    """
+
+    def __init__(self, points, object_id=None):
+        converted = []
+        for point in points:
+            if isinstance(point, GpsPoint):
+                converted.append(point)
+            else:
+                x, y, t = point
+                converted.append(GpsPoint(x, y, t))
+        if len(converted) < 2:
+            raise ValueError("a trajectory needs at least two points")
+        times = [p.t for p in converted]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("trajectory timestamps must be strictly increasing")
+        self._points = converted
+        self.object_id = object_id
+
+    # -- protocol --------------------------------------------------------
+
+    def __len__(self):
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def __getitem__(self, index):
+        return self._points[index]
+
+    def __repr__(self):
+        return (
+            f"Trajectory(id={self.object_id!r}, points={len(self)}, "
+            f"duration={self.duration():.1f})"
+        )
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def points(self):
+        return list(self._points)
+
+    def coordinates(self):
+        """Return an ``(n, 2)`` array of ``(x, y)`` positions."""
+        return np.array([[p.x, p.y] for p in self._points])
+
+    def times(self):
+        """Return the ``(n,)`` array of timestamps."""
+        return np.array([p.t for p in self._points])
+
+    def duration(self):
+        """Elapsed time between first and last sample."""
+        return self._points[-1].t - self._points[0].t
+
+    def length(self):
+        """Total travelled Euclidean distance along the samples."""
+        return float(
+            sum(a.distance_to(b) for a, b in zip(self._points, self._points[1:]))
+        )
+
+    def average_speed(self):
+        """Mean speed = length / duration."""
+        return self.length() / self.duration()
+
+    # -- transformations ---------------------------------------------------
+
+    def resample(self, interval):
+        """Linearly resample positions every ``interval`` time units.
+
+        Models low-frequency GPS devices; the first and last samples are
+        always kept.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval!r}")
+        xs = self.coordinates()
+        ts = self.times()
+        new_times = np.arange(ts[0], ts[-1], interval)
+        if new_times[-1] < ts[-1]:
+            new_times = np.append(new_times, ts[-1])
+        new_x = np.interp(new_times, ts, xs[:, 0])
+        new_y = np.interp(new_times, ts, xs[:, 1])
+        points = [GpsPoint(x, y, t) for x, y, t in zip(new_x, new_y, new_times)]
+        return Trajectory(points, object_id=self.object_id)
+
+    def with_noise(self, sigma, rng=None):
+        """Add isotropic Gaussian measurement noise of scale ``sigma``."""
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma!r}")
+        rng = ensure_rng(rng)
+        noise = rng.normal(0.0, sigma, size=(len(self), 2))
+        points = [
+            GpsPoint(p.x + dx, p.y + dy, p.t)
+            for p, (dx, dy) in zip(self._points, noise)
+        ]
+        return Trajectory(points, object_id=self.object_id)
+
+    def dropped(self, keep_fraction, rng=None):
+        """Randomly keep roughly ``keep_fraction`` of interior samples.
+
+        Endpoints are always retained so the trip is still recognizable —
+        this models the sparse trajectories [56] the decision layer learns
+        from.
+        """
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError(
+                f"keep_fraction must be in (0, 1], got {keep_fraction!r}"
+            )
+        rng = ensure_rng(rng)
+        kept = [self._points[0]]
+        for point in self._points[1:-1]:
+            if rng.random() < keep_fraction:
+                kept.append(point)
+        kept.append(self._points[-1])
+        return Trajectory(kept, object_id=self.object_id)
+
+    def segment_speeds(self):
+        """Speed of each consecutive segment, shape ``(n-1,)``."""
+        xs = self.coordinates()
+        ts = self.times()
+        distances = np.linalg.norm(np.diff(xs, axis=0), axis=1)
+        gaps = np.diff(ts)
+        return distances / gaps

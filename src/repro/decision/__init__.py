@@ -1,0 +1,69 @@
+"""Data-driven decision making (paper Sec. II-D): decision making under
+uncertainty, multi-objective, personalized, and learning-based
+strategies, plus the scheduling and maintenance scenarios."""
+
+from .ecodriving import EcoDrivingPlanner, FuelModel
+from .imitation import ImitationRouter
+from .maintenance import (
+    PeriodicPolicy,
+    PredictivePolicy,
+    RunToFailurePolicy,
+    degradation_process,
+    simulate_maintenance,
+)
+from .pareto import SkylineRouter, dominates, pareto_front, scalarize
+from .preference import ContextualPreferenceModel
+from .routing import StochasticRouter
+from .scheduling import (
+    FixedScaler,
+    PredictiveScaler,
+    ReactiveScaler,
+    simulate_scaling,
+)
+from .stochastic import (
+    dominance_prune,
+    first_order_dominates,
+    second_order_dominates,
+    select_best,
+)
+from .utility import (
+    DeadlineUtility,
+    RiskAverseUtility,
+    RiskNeutralUtility,
+    RiskSeekingUtility,
+    UtilityFunction,
+    certainty_equivalent,
+    expected_utility,
+)
+
+__all__ = [
+    "ContextualPreferenceModel",
+    "DeadlineUtility",
+    "EcoDrivingPlanner",
+    "FixedScaler",
+    "FuelModel",
+    "ImitationRouter",
+    "PeriodicPolicy",
+    "PredictivePolicy",
+    "PredictiveScaler",
+    "ReactiveScaler",
+    "RiskAverseUtility",
+    "RiskNeutralUtility",
+    "RiskSeekingUtility",
+    "RunToFailurePolicy",
+    "SkylineRouter",
+    "StochasticRouter",
+    "UtilityFunction",
+    "certainty_equivalent",
+    "degradation_process",
+    "dominance_prune",
+    "dominates",
+    "expected_utility",
+    "first_order_dominates",
+    "pareto_front",
+    "scalarize",
+    "second_order_dominates",
+    "select_best",
+    "simulate_maintenance",
+    "simulate_scaling",
+]

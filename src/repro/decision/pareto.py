@@ -1,0 +1,167 @@
+"""Multi-objective decision making: Pareto skylines and scalarization.
+
+Paper §II-D: "Multi-objective decision-making can be categorized into
+two classes: the first employs Pareto optimality to identify a set of
+non-dominated options [15]; the second consolidates multiple objectives
+into a single unified objective via a preference function [54]."
+
+* :func:`pareto_front` — the non-dominated subset of arbitrary cost
+  vectors;
+* :class:`SkylineRouter` — route skylines [15]: a label-correcting
+  search over a road network with *vector* edge costs, where a node
+  keeps only Pareto-optimal partial labels; the result is every
+  non-dominated origin-destination route;
+* :func:`scalarize` — the second class: a preference-weighted single
+  objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive, check_probability_vector
+from ..datatypes import RoadNetwork
+
+__all__ = ["pareto_front", "dominates", "SkylineRouter", "scalarize"]
+
+
+def dominates(first, second, *, tol=1e-12):
+    """True when cost vector ``first`` Pareto-dominates ``second``.
+
+    ``first`` is no worse in every objective and strictly better in at
+    least one (all objectives are costs: lower is better).
+    """
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    if first.shape != second.shape:
+        raise ValueError("cost vectors must have the same length")
+    return bool(np.all(first <= second + tol)
+                and np.any(first < second - tol))
+
+
+def pareto_front(costs):
+    """Indices of the non-dominated rows of a cost matrix.
+
+    O(n² k); fine for the decision-sized candidate sets the experiments
+    use.
+    """
+    costs = np.asarray(costs, dtype=float)
+    if costs.ndim != 2:
+        raise ValueError("costs must be 2-D (options x objectives)")
+    survivors = []
+    for index in range(len(costs)):
+        dominated = False
+        for other in range(len(costs)):
+            if other != index and dominates(costs[other], costs[index]):
+                dominated = True
+                break
+        if not dominated:
+            survivors.append(index)
+    return survivors
+
+
+def scalarize(costs, weights):
+    """Preference-weighted objective: index of the best option.
+
+    ``weights`` are normalized to sum to one; objectives should be
+    commensurate (normalize beforehand if not).
+    """
+    costs = np.asarray(costs, dtype=float)
+    weights = check_probability_vector(weights, "weights")
+    if costs.shape[1] != len(weights):
+        raise ValueError("one weight per objective required")
+    return int(np.argmin(costs @ weights))
+
+
+class SkylineRouter:
+    """Route skyline computation over vector edge costs [15].
+
+    Parameters
+    ----------
+    network:
+        The road network; each edge must carry the attributes named in
+        ``objectives``.
+    objectives:
+        Edge-attribute names forming the cost vector (all minimized).
+    max_labels:
+        Per-node cap on retained Pareto labels (guards the worst case).
+    """
+
+    def __init__(self, network, objectives, *, max_labels=64):
+        if not isinstance(network, RoadNetwork):
+            raise TypeError("network must be a RoadNetwork")
+        objectives = list(objectives)
+        if len(objectives) < 2:
+            raise ValueError("skylines need at least two objectives")
+        self.network = network
+        self.objectives = objectives
+        self.max_labels = int(check_positive(max_labels, "max_labels"))
+
+    def _edge_cost(self, u, v):
+        return np.array([
+            float(self.network.edge_attribute(u, v, name, 0.0))
+            for name in self.objectives
+        ])
+
+    def skyline(self, origin, destination):
+        """All Pareto-optimal routes from origin to destination.
+
+        Returns a list of ``(path, cost_vector)`` pairs, mutually
+        non-dominated.
+        """
+        if origin == destination:
+            raise ValueError("origin and destination must differ")
+        # Label-correcting search: labels are (cost_vector, path).
+        labels = {origin: [(np.zeros(len(self.objectives)), [origin])]}
+        queue = [origin]
+        while queue:
+            node = queue.pop(0)
+            node_labels = list(labels.get(node, []))
+            for successor in self.network.successors(node):
+                edge_cost = self._edge_cost(node, successor)
+                candidates = []
+                for cost, path in node_labels:
+                    if successor in path:  # simple paths only
+                        continue
+                    candidates.append((cost + edge_cost,
+                                       path + [successor]))
+                if not candidates:
+                    continue
+                existing = labels.get(successor, [])
+                merged = self._merge(existing, candidates)
+                if merged is not None:
+                    labels[successor] = merged
+                    if successor not in queue:
+                        queue.append(successor)
+        results = labels.get(destination, [])
+        return [(path, cost.copy()) for cost, path in results]
+
+    def _merge(self, existing, candidates):
+        """Merge candidate labels into a node's Pareto set.
+
+        Returns the new label list, or None when nothing changed.
+        """
+        pool = list(existing)
+        changed = False
+        for cost, path in candidates:
+            dominated = False
+            for other_cost, _ in pool:
+                if dominates(other_cost, cost) or np.allclose(other_cost,
+                                                              cost):
+                    dominated = True
+                    break
+            if dominated:
+                continue
+            pool = [
+                (other_cost, other_path) for other_cost, other_path in pool
+                if not dominates(cost, other_cost)
+            ]
+            pool.append((cost, path))
+            changed = True
+        if not changed:
+            return None
+        if len(pool) > self.max_labels:
+            # Keep the labels with the best scalarized spread.
+            pool.sort(key=lambda label: label[0].sum())
+            pool = pool[: self.max_labels]
+        return pool

@@ -1,0 +1,138 @@
+"""Personalized, context-aware preference learning [54, 55].
+
+Paper §II-D: decisions are tailored "to individual preferences, which
+may include personalized risk profiles or preferences on multi-objective
+trade-offs.  The challenge lies in selecting the most suitable
+preference for a given context."
+
+:class:`ContextualPreferenceModel` learns, per context (e.g. *peak* /
+*offpeak* / *weekend*), the objective weights that best explain a
+driver's observed choices among alternatives — the inverse problem of
+scalarization.  Learning is a projected-subgradient ranking method:
+chosen options must scalarize better than their alternatives, with
+weights constrained to the probability simplex (interpretable as
+trade-off shares).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive
+
+__all__ = ["ContextualPreferenceModel"]
+
+
+def _project_to_simplex(vector):
+    """Euclidean projection onto the probability simplex."""
+    sorted_desc = np.sort(vector)[::-1]
+    cumulative = np.cumsum(sorted_desc) - 1.0
+    indices = np.arange(1, len(vector) + 1)
+    mask = sorted_desc - cumulative / indices > 0
+    rho = indices[mask][-1]
+    theta = cumulative[mask][-1] / rho
+    return np.maximum(vector - theta, 0.0)
+
+
+class ContextualPreferenceModel:
+    """Per-context objective weights learned from observed choices.
+
+    Parameters
+    ----------
+    n_objectives:
+        Dimensionality of the option cost vectors.
+    margin:
+        Required scalarized-cost margin between chosen option and
+        alternatives (hinge).
+    """
+
+    def __init__(self, n_objectives, *, margin=0.01, learning_rate=0.1,
+                 n_epochs=200):
+        self.n_objectives = int(check_positive(n_objectives,
+                                               "n_objectives"))
+        self.margin = float(margin)
+        self.learning_rate = float(check_positive(learning_rate,
+                                                  "learning_rate"))
+        self.n_epochs = int(check_positive(n_epochs, "n_epochs"))
+        self._weights = {}
+        self._observations = {}
+
+    def observe(self, context, chosen_cost, alternative_costs):
+        """Record one decision: the chosen option's cost vector and the
+        rejected alternatives' cost vectors."""
+        chosen = np.asarray(chosen_cost, dtype=float)
+        if chosen.shape != (self.n_objectives,):
+            raise ValueError(
+                f"chosen_cost must have {self.n_objectives} entries"
+            )
+        alternatives = [np.asarray(a, dtype=float)
+                        for a in alternative_costs]
+        for alternative in alternatives:
+            if alternative.shape != (self.n_objectives,):
+                raise ValueError("alternative cost shape mismatch")
+        self._observations.setdefault(context, []).append(
+            (chosen, alternatives))
+        return self
+
+    def fit(self):
+        """Learn simplex weights for every observed context."""
+        if not self._observations:
+            raise RuntimeError("no observations to fit")
+        for context, decisions in self._observations.items():
+            weights = np.full(self.n_objectives, 1.0 / self.n_objectives)
+            # Scale-normalize the objectives within this context.
+            stacked = np.vstack([
+                np.vstack([chosen] + alternatives)
+                for chosen, alternatives in decisions
+            ])
+            scale = stacked.std(axis=0)
+            scale[scale == 0] = 1.0
+            for _ in range(self.n_epochs):
+                gradient = np.zeros(self.n_objectives)
+                for chosen, alternatives in decisions:
+                    for alternative in alternatives:
+                        gap = (chosen - alternative) / scale
+                        if weights @ gap + self.margin > 0:  # violated
+                            gradient += gap
+                if not np.any(gradient):
+                    break
+                weights = _project_to_simplex(
+                    weights - self.learning_rate
+                    * gradient / len(decisions))
+            self._weights[context] = weights
+        return self
+
+    def weights(self, context):
+        """The learned trade-off weights for ``context``."""
+        if context not in self._weights:
+            raise KeyError(f"no learned preference for context {context!r}")
+        return self._weights[context].copy()
+
+    @property
+    def contexts(self):
+        return sorted(self._weights)
+
+    def rank(self, context, option_costs):
+        """Options sorted best-first under the context's preference."""
+        weights = self.weights(context)
+        costs = np.asarray(option_costs, dtype=float)
+        if costs.ndim != 2 or costs.shape[1] != self.n_objectives:
+            raise ValueError("option_costs must be (n, n_objectives)")
+        scores = costs @ weights
+        return list(np.argsort(scores))
+
+    def choose(self, context, option_costs):
+        """Index of the best option for the context."""
+        return self.rank(context, option_costs)[0]
+
+    def agreement(self, context, decisions):
+        """Fraction of held-out decisions where the model's choice
+        matches the observed choice.
+
+        ``decisions`` is a list of ``(chosen_index, option_costs)``.
+        """
+        correct = 0
+        for chosen_index, option_costs in decisions:
+            if self.choose(context, option_costs) == chosen_index:
+                correct += 1
+        return correct / len(decisions) if decisions else 0.0

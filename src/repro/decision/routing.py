@@ -1,0 +1,185 @@
+"""Stochastic routing: decision making under travel-time uncertainty.
+
+The paper's running example (§I): an autonomous taxi picks the route
+with the highest probability of on-time arrival, using the travel-time
+distributions the governance layer quantified.  The router:
+
+1. generates candidate paths (k-shortest by expected cost),
+2. obtains each candidate's cost *distribution* from an uncertainty
+   model (edge-centric or path-centric),
+3. prunes dominated candidates (stochastic dominance),
+4. picks the winner under the caller's utility — on-time probability,
+   risk-averse expected utility, or plain expected cost.
+
+``arrival_windows`` reproduces the qualitative finding of [53]: *which
+path is optimal depends on the deadline* — tight deadlines favour
+reliable paths, loose ones favour fast-on-average paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive
+from ..datatypes import RoadNetwork
+from .stochastic import dominance_prune
+from .utility import DeadlineUtility, UtilityFunction
+
+__all__ = ["StochasticRouter"]
+
+
+class StochasticRouter:
+    """Distribution-aware route selection.
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    cost_model:
+        An uncertainty model exposing
+        ``path_distribution(path, departure_minute)`` (either paradigm
+        from :mod:`repro.governance.uncertainty`).
+    n_candidates:
+        Number of k-shortest candidate paths considered.
+    weight:
+        Edge attribute used by the candidate generator (defaults to
+        geometric ``length``; pass e.g. ``"mean_time"`` after attaching
+        expected travel times so fast-but-long corridors are in the
+        pool).
+    """
+
+    def __init__(self, network, cost_model, *, n_candidates=8,
+                 weight="length"):
+        if not isinstance(network, RoadNetwork):
+            raise TypeError("network must be a RoadNetwork")
+        if not hasattr(cost_model, "path_distribution"):
+            raise TypeError(
+                "cost_model must expose path_distribution(path, minute)"
+            )
+        self.network = network
+        self.cost_model = cost_model
+        self.n_candidates = int(check_positive(n_candidates,
+                                               "n_candidates"))
+        self.weight = str(weight)
+
+    def candidate_paths(self, origin, destination):
+        """K-shortest simple paths by ``weight`` (the candidate pool)."""
+        return self.network.k_shortest_paths(origin, destination,
+                                             self.n_candidates,
+                                             weight=self.weight)
+
+    def candidate_distributions(self, origin, destination,
+                                departure_minute=0.0):
+        """``(paths, distributions)`` for all *evaluable* candidates.
+
+        Candidates whose edges were never observed by the cost model
+        are skipped (a real fleet has uncovered roads).
+        """
+        paths = []
+        distributions = []
+        for path in self.candidate_paths(origin, destination):
+            try:
+                distribution = self.cost_model.path_distribution(
+                    path, departure_minute)
+            except KeyError:
+                continue
+            paths.append(path)
+            distributions.append(distribution)
+        if not paths:
+            raise ValueError(
+                "no candidate path is covered by the cost model"
+            )
+        return paths, distributions
+
+    def best_path(self, origin, destination, utility, *,
+                  departure_minute=0.0, prune=True):
+        """The expected-utility-optimal path.
+
+        Returns ``(path, distribution, expected_utility)``.
+        """
+        if not isinstance(utility, UtilityFunction):
+            raise TypeError("utility must be a UtilityFunction")
+        paths, distributions = self.candidate_distributions(
+            origin, destination, departure_minute)
+        indices = (dominance_prune(distributions) if prune
+                   else range(len(paths)))
+        best = max(indices,
+                   key=lambda i: utility.expected(distributions[i]))
+        return paths[best], distributions[best], \
+            utility.expected(distributions[best])
+
+    def on_time_route(self, origin, destination, deadline, *,
+                      departure_minute=0.0):
+        """Maximize the probability of arriving within ``deadline``.
+
+        Returns ``(path, on_time_probability)`` — the tutorial's
+        flagship decision rule.
+        """
+        path, distribution, probability = self.best_path(
+            origin, destination, DeadlineUtility(deadline),
+            departure_minute=departure_minute)
+        return path, probability
+
+    def mean_cost_route(self, origin, destination, *,
+                        departure_minute=0.0):
+        """The baseline: minimize *expected* travel time only."""
+        paths, distributions = self.candidate_distributions(
+            origin, destination, departure_minute)
+        best = int(np.argmin([d.mean() for d in distributions]))
+        return paths[best], distributions[best]
+
+    def best_departure(self, origin, destination, travel_budget,
+                       candidate_departures):
+        """When to leave: the departure time maximizing on-time arrival.
+
+        Travel costs are time-varying ([51]: "time-varying, uncertain
+        travel costs"), so the *same* trip has different risk at
+        different departure times — leaving before the rush can beat
+        leaving into it even with a later deadline.
+
+        Parameters
+        ----------
+        travel_budget:
+            Allowed travel time (the deadline is departure + budget).
+        candidate_departures:
+            Minutes-of-day to consider.
+
+        Returns
+        -------
+        (float, list, float)
+            Best departure minute, its optimal path, and the on-time
+            probability.
+        """
+        check_positive(travel_budget, "travel_budget")
+        best = None
+        for departure in candidate_departures:
+            try:
+                path, probability = self.on_time_route(
+                    origin, destination, travel_budget,
+                    departure_minute=departure)
+            except (ValueError, KeyError):
+                continue
+            if best is None or probability > best[2]:
+                best = (float(departure), path, probability)
+        if best is None:
+            raise ValueError(
+                "no candidate departure admits an evaluable route"
+            )
+        return best
+
+    def arrival_windows(self, origin, destination, deadlines, *,
+                        departure_minute=0.0):
+        """Optimal path per deadline — the arrival-window view of [53].
+
+        Returns a list of ``(deadline, path_index, probability)`` using
+        a shared candidate indexing, so callers can see exactly where
+        the optimal choice flips as the deadline tightens.
+        """
+        paths, distributions = self.candidate_distributions(
+            origin, destination, departure_minute)
+        results = []
+        for deadline in deadlines:
+            probabilities = [1.0 - d.sf(deadline) for d in distributions]
+            best = int(np.argmax(probabilities))
+            results.append((float(deadline), best, probabilities[best]))
+        return results, paths

@@ -1,0 +1,143 @@
+"""Utility functions and risk preferences (paper §II-D).
+
+"Different stakeholders may have different risk preferences ... By
+employing utility functions, we can encode different risk preferences,
+and then use expected utility to identify the most favorable options."
+
+Utilities here are defined over *costs* (travel time, money, energy):
+every utility is decreasing in cost, and higher expected utility is
+better.  The three canonical risk profiles:
+
+* **risk-neutral** — cares only about the mean cost;
+* **risk-averse** — exponentially penalizes high-cost outcomes (a
+  commuter who must not miss a flight);
+* **risk-seeking** — rewards the chance of very low costs (a courier
+  paid per fast delivery).
+
+All utilities evaluate against the :class:`Histogram` distributions the
+governance layer produces, via exact expectation over the support.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive
+from ..governance.uncertainty import Histogram
+
+__all__ = [
+    "UtilityFunction",
+    "RiskNeutralUtility",
+    "RiskAverseUtility",
+    "RiskSeekingUtility",
+    "DeadlineUtility",
+    "expected_utility",
+    "certainty_equivalent",
+]
+
+
+class UtilityFunction:
+    """Base class: a decreasing map from cost to utility."""
+
+    def __call__(self, costs):
+        """Vectorized utility of ``costs``."""
+        raise NotImplementedError
+
+    def expected(self, distribution):
+        """Expected utility under a cost :class:`Histogram`."""
+        if not isinstance(distribution, Histogram):
+            raise TypeError("distribution must be a Histogram")
+        return distribution.expectation(self)
+
+
+class RiskNeutralUtility(UtilityFunction):
+    """``u(c) = -c``: ranks options by mean cost alone."""
+
+    def __call__(self, costs):
+        return -np.asarray(costs, dtype=float)
+
+
+class RiskAverseUtility(UtilityFunction):
+    """``u(c) = -exp(a c) / a``: high costs hurt superlinearly.
+
+    Parameters
+    ----------
+    aversion:
+        Absolute risk-aversion coefficient ``a > 0``; larger = more
+        averse.
+    scale:
+        Cost normalization (utilities are computed on ``c / scale`` so
+        the coefficient is dimension-free).
+    """
+
+    def __init__(self, aversion=1.0, scale=1.0):
+        self.aversion = float(check_positive(aversion, "aversion"))
+        self.scale = float(check_positive(scale, "scale"))
+
+    def __call__(self, costs):
+        normalized = np.asarray(costs, dtype=float) / self.scale
+        return -np.exp(self.aversion * normalized) / self.aversion
+
+
+class RiskSeekingUtility(UtilityFunction):
+    """``u(c) = exp(-a c)``: the chance of very low costs dominates."""
+
+    def __init__(self, seeking=1.0, scale=1.0):
+        self.seeking = float(check_positive(seeking, "seeking"))
+        self.scale = float(check_positive(scale, "scale"))
+
+    def __call__(self, costs):
+        normalized = np.asarray(costs, dtype=float) / self.scale
+        return np.exp(-self.seeking * normalized)
+
+
+class DeadlineUtility(UtilityFunction):
+    """Step utility: 1 if the cost meets the deadline, 0 otherwise.
+
+    Expected utility equals the probability of on-time arrival — the
+    objective of the paper's flagship routing example ("favoring the
+    route with the highest probability of an on-time arrival").
+    """
+
+    def __init__(self, deadline):
+        self.deadline = float(deadline)
+
+    def __call__(self, costs):
+        return (np.asarray(costs, dtype=float)
+                <= self.deadline).astype(float)
+
+
+def expected_utility(distribution, utility):
+    """Convenience wrapper: ``utility.expected(distribution)``."""
+    if not isinstance(utility, UtilityFunction):
+        raise TypeError("utility must be a UtilityFunction")
+    return utility.expected(distribution)
+
+
+def certainty_equivalent(distribution, utility, *, tol=1e-6):
+    """The deterministic cost valued equally to the distribution.
+
+    Solved by bisection on the (decreasing) utility; for a risk-averse
+    utility the certainty equivalent exceeds the mean cost — the premium
+    the decision maker would pay to remove the uncertainty.
+    """
+    def scalar_utility(cost):
+        return float(np.asarray(utility(np.array([cost]))).ravel()[0])
+
+    target = utility.expected(distribution)
+    low, high = distribution.min(), distribution.max()
+    if high - low < tol:
+        return low
+    u_low = scalar_utility(low)
+    u_high = scalar_utility(high)
+    if not u_low >= target >= u_high:
+        # Clamp: the equivalent lies at a boundary (can happen with
+        # degenerate distributions).
+        return low if target > u_low else high
+    while high - low > tol * max(1.0, abs(high)):
+        middle = (low + high) / 2
+        if scalar_utility(middle) >= target:
+            low = middle
+        else:
+            high = middle
+    return (low + high) / 2

@@ -1,0 +1,7 @@
+"""Data governance (paper Sec. II-B): improve raw data quality before
+analytics -- missing-value imputation, uncertainty quantification, and
+multi-modal fusion."""
+
+from . import fusion, imputation, uncertainty
+
+__all__ = ["fusion", "imputation", "uncertainty"]

@@ -1,0 +1,17 @@
+"""Multi-modal fusion: alignment (map matching, embeddings) and
+feature-based fusion."""
+
+from .alignment import CcaAligner, procrustes_align, retrieval_accuracy
+from .features import add_time_features, align_series, fuse_series, weather_series
+from .map_matching import HmmMapMatcher
+
+__all__ = [
+    "CcaAligner",
+    "HmmMapMatcher",
+    "add_time_features",
+    "align_series",
+    "fuse_series",
+    "procrustes_align",
+    "retrieval_accuracy",
+    "weather_series",
+]

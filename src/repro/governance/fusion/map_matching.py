@@ -1,0 +1,215 @@
+"""Hidden-Markov-model map matching (Newson & Krumm [17]).
+
+Map matching is the paper's prime example of *alignment-based*
+multi-modal fusion: noisy GPS trajectories are aligned with the road
+network, simultaneously removing measurement noise and recovering the
+travelled route.
+
+Model (exactly the classic formulation):
+
+* **states** at each GPS sample are candidate road edges within
+  ``candidate_radius`` of the point;
+* **emission** probability of a candidate decays as a Gaussian in the
+  perpendicular distance between the point and the edge
+  (``sigma`` = GPS noise scale);
+* **transition** probability between consecutive candidates decays
+  exponentially in the *route/great-circle discrepancy*: a good match
+  drives roughly as far along the network as the raw points moved
+  (``beta`` = tolerance scale);
+* decoding is exact Viterbi.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..._validation import check_positive
+from ...datatypes import RoadNetwork, Trajectory
+
+__all__ = ["HmmMapMatcher"]
+
+
+class HmmMapMatcher:
+    """Match GPS trajectories to road-network paths.
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    sigma:
+        GPS noise standard deviation (emission scale).
+    beta:
+        Transition tolerance: expected discrepancy between network
+        distance and straight-line distance.
+    candidate_radius:
+        Max distance from a point to a candidate edge.
+    max_candidates:
+        Keep only the closest candidates per point (for speed).
+    """
+
+    def __init__(self, network, *, sigma=0.3, beta=1.0,
+                 candidate_radius=None, max_candidates=8):
+        if not isinstance(network, RoadNetwork):
+            raise TypeError("network must be a RoadNetwork")
+        self.network = network
+        self.sigma = float(check_positive(sigma, "sigma"))
+        self.beta = float(check_positive(beta, "beta"))
+        self.candidate_radius = (
+            float(candidate_radius) if candidate_radius is not None
+            else 5.0 * self.sigma
+        )
+        self.max_candidates = int(check_positive(max_candidates,
+                                                 "max_candidates"))
+        self._distance_cache = {}
+
+    # -- internals -----------------------------------------------------------
+
+    def _distances_from(self, node):
+        cached = self._distance_cache.get(node)
+        if cached is None:
+            cached = self.network.dijkstra_all(node)
+            self._distance_cache[node] = cached
+        return cached
+
+    def _route_distance(self, candidate_a, candidate_b):
+        """Network distance between two on-edge positions."""
+        (u1, v1, _, f1) = candidate_a
+        (u2, v2, _, f2) = candidate_b
+        length_a = self.network.edge_length(u1, v1)
+        length_b = self.network.edge_length(u2, v2)
+        if (u1, v1) == (u2, v2) and f2 >= f1:
+            return (f2 - f1) * length_a
+        remaining = (1.0 - f1) * length_a
+        distances = self._distances_from(v1)
+        through = distances.get(u2)
+        if through is None:
+            return math.inf
+        return remaining + through + f2 * length_b
+
+    def _candidates(self, point):
+        found = self.network.candidate_edges(point, self.candidate_radius)
+        return found[: self.max_candidates]
+
+    # -- public API -------------------------------------------------------------
+
+    def match(self, trajectory):
+        """Viterbi-decode the most likely candidate sequence.
+
+        Returns
+        -------
+        list
+            One ``(u, v, distance, fraction)`` candidate per GPS point.
+
+        Raises
+        ------
+        ValueError
+            If some point has no candidate edge within radius (increase
+            ``candidate_radius``).
+        """
+        if not isinstance(trajectory, Trajectory):
+            raise TypeError("trajectory must be a Trajectory")
+        points = [(p.x, p.y) for p in trajectory]
+        layers = []
+        for index, point in enumerate(points):
+            candidates = self._candidates(point)
+            if not candidates:
+                raise ValueError(
+                    f"no candidate edge within {self.candidate_radius} of "
+                    f"point {index}; the trajectory is off the map"
+                )
+            layers.append(candidates)
+
+        # Viterbi in log space.
+        def emission(candidate):
+            distance = candidate[2]
+            return -0.5 * (distance / self.sigma) ** 2
+
+        scores = [emission(c) for c in layers[0]]
+        backpointers = []
+        for step in range(1, len(layers)):
+            straight = math.hypot(
+                points[step][0] - points[step - 1][0],
+                points[step][1] - points[step - 1][1],
+            )
+            new_scores = []
+            pointers = []
+            for candidate in layers[step]:
+                best_score, best_prev = -math.inf, 0
+                for prev_index, previous in enumerate(layers[step - 1]):
+                    route = self._route_distance(previous, candidate)
+                    if math.isinf(route):
+                        continue
+                    transition = -abs(route - straight) / self.beta
+                    score = scores[prev_index] + transition
+                    if score > best_score:
+                        best_score, best_prev = score, prev_index
+                new_scores.append(best_score + emission(candidate))
+                pointers.append(best_prev)
+            scores = new_scores
+            backpointers.append(pointers)
+            if all(math.isinf(-s) for s in scores):
+                raise ValueError(
+                    f"no connected matching through point {step}; "
+                    "the network may be disconnected along the trace"
+                )
+
+        # Backtrack.
+        best = int(np.argmax(scores))
+        chosen = [best]
+        for pointers in reversed(backpointers):
+            best = pointers[best]
+            chosen.append(best)
+        chosen.reverse()
+        return [layers[i][c] for i, c in enumerate(chosen)]
+
+    def matched_path(self, trajectory):
+        """The full node path the vehicle most likely travelled.
+
+        Consecutive matched edges are stitched with network shortest
+        paths, and repeated nodes from staying on one edge are collapsed.
+        """
+        candidates = self.match(trajectory)
+        path = []
+
+        def extend(nodes):
+            for node in nodes:
+                if not path or path[-1] != node:
+                    path.append(node)
+
+        previous_edge = None
+        for index, (u, v, _, fraction) in enumerate(candidates):
+            edge = (u, v)
+            if edge == previous_edge:
+                continue
+            if previous_edge is None:
+                # A first match sitting at the far end of its edge means
+                # the vehicle effectively started at node v; adding u
+                # would prepend a phantom segment.
+                if fraction >= 0.99:
+                    extend([v])
+                else:
+                    extend([u, v])
+            else:
+                connector = self.network.shortest_path(previous_edge[1], u)
+                extend(connector)
+                extend([v])
+            previous_edge = edge
+
+        # Collapse immediate backtracks (a, b, a -> a), an artifact of
+        # matching to the reverse twin of a bidirectional edge.
+        changed = True
+        while changed and len(path) >= 3:
+            changed = False
+            for index in range(len(path) - 2):
+                if path[index] == path[index + 2]:
+                    del path[index + 1:index + 3]
+                    changed = True
+                    break
+
+        if len(path) < 2:
+            # Entire trace matched to a single edge.
+            u, v, _, _ = candidates[0]
+            path = [u, v]
+        return path

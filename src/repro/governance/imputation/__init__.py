@@ -1,0 +1,24 @@
+"""Missing-value imputation: temporal, spatial, and spatio-temporal."""
+
+from .spatial import GcnCompleter, LabelPropagationCompleter, line_graph_adjacency
+from .spatiotemporal import ODMatrixCompleter, complete_field
+from .temporal import (
+    KalmanImputer,
+    backcast,
+    impute_linear,
+    impute_locf,
+    impute_seasonal,
+)
+
+__all__ = [
+    "GcnCompleter",
+    "KalmanImputer",
+    "LabelPropagationCompleter",
+    "ODMatrixCompleter",
+    "complete_field",
+    "backcast",
+    "impute_linear",
+    "impute_locf",
+    "impute_seasonal",
+    "line_graph_adjacency",
+]

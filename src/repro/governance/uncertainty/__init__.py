@@ -1,0 +1,19 @@
+"""Uncertainty quantification: cost distributions and the edge-centric
+vs. path-centric travel-time paradigms."""
+
+from .distributions import GaussianMixture, Histogram
+from .travel_time import (
+    EdgeCentricModel,
+    PathCentricModel,
+    TimeVaryingDistribution,
+    wasserstein_distance,
+)
+
+__all__ = [
+    "EdgeCentricModel",
+    "GaussianMixture",
+    "Histogram",
+    "PathCentricModel",
+    "TimeVaryingDistribution",
+    "wasserstein_distance",
+]

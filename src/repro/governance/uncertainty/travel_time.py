@@ -1,0 +1,326 @@
+"""Time-varying uncertain road-network models (paper §II-B).
+
+Traffic cost uncertainty is modeled by ``(I, D)`` pairs — travel cost
+follows distribution ``D`` within time interval ``I``.  The paper
+contrasts two paradigms:
+
+* the **edge-centric** paradigm [15] assigns a distribution to every
+  edge and treats edges as independent; composing a path means
+  convolving the edge distributions — cheap, but it ignores the
+  correlation between consecutive edges, so path variance is
+  systematically misestimated when congestion is correlated;
+* the **path-centric** paradigm (PACE [4], [5]) additionally learns
+  joint distributions of frequently traversed *sub-paths*; a query path
+  is covered with the longest available sub-paths, which captures the
+  correlations inside each covered stretch and "balances efficiency and
+  precision".
+
+Both models are fit from trips — ``(node_path, edge_times,
+departure_minute)`` triples produced either by the trajectory simulator
+or by map-matched GPS traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._validation import check_positive
+from .distributions import Histogram
+
+__all__ = [
+    "TimeVaryingDistribution",
+    "EdgeCentricModel",
+    "PathCentricModel",
+    "wasserstein_distance",
+]
+
+#: Whole-day fallback interval (minutes).
+_FULL_DAY = ((0.0, 24 * 60.0),)
+
+
+def wasserstein_distance(first, second, *, n_grid=400):
+    """Wasserstein-1 distance between two histogram distributions.
+
+    Computed as the integral of the absolute CDF difference on a shared
+    grid; the metric used to score distribution estimates in E5.
+    """
+    low = min(first.min(), second.min())
+    high = max(first.max(), second.max())
+    if high <= low:
+        return 0.0
+    grid = np.linspace(low, high, int(n_grid))
+    gap = np.abs(first.cdf(grid) - second.cdf(grid))
+    return float(np.trapezoid(gap, grid))
+
+
+class TimeVaryingDistribution:
+    """A piecewise-constant distribution over intervals of the day.
+
+    Parameters
+    ----------
+    intervals:
+        Sequence of ``(start_minute, end_minute)`` pairs partitioning
+        (part of) the day; lookups outside every interval fall back to
+        the nearest one.
+    distributions:
+        One :class:`Histogram` per interval.
+    """
+
+    def __init__(self, intervals, distributions):
+        intervals = [tuple(map(float, pair)) for pair in intervals]
+        if len(intervals) != len(distributions):
+            raise ValueError("intervals and distributions must align")
+        if not intervals:
+            raise ValueError("need at least one interval")
+        for start, end in intervals:
+            if end <= start:
+                raise ValueError(f"empty interval ({start}, {end})")
+        self.intervals = intervals
+        self.distributions = list(distributions)
+
+    def at(self, minute):
+        """The distribution in force at ``minute`` (of day)."""
+        minute = float(minute) % (24 * 60)
+        for (start, end), distribution in zip(self.intervals,
+                                              self.distributions):
+            if start <= minute < end:
+                return distribution
+        # Fall back to the interval whose midpoint is closest.
+        gaps = [
+            abs((start + end) / 2 - minute)
+            for start, end in self.intervals
+        ]
+        return self.distributions[int(np.argmin(gaps))]
+
+
+class _TraversalStore:
+    """Shared bookkeeping: per-key, per-interval traversal-time samples.
+
+    ``representation`` selects how the empirical samples are summarized
+    — ``"histogram"`` (default) or ``"gmm"`` (a Gaussian mixture fit by
+    EM, then discretized so the Histogram algebra still applies); the
+    two options the paper names for uncertainty quantification.
+    """
+
+    def __init__(self, intervals, n_bins, representation="histogram",
+                 n_components=2):
+        if representation not in ("histogram", "gmm"):
+            raise ValueError(
+                f"representation must be 'histogram' or 'gmm', "
+                f"got {representation!r}"
+            )
+        self.intervals = [tuple(map(float, pair)) for pair in intervals]
+        self.n_bins = int(n_bins)
+        self.representation = representation
+        self.n_components = int(n_components)
+        self._samples = {}
+
+    def _interval_index(self, minute):
+        minute = float(minute) % (24 * 60)
+        for index, (start, end) in enumerate(self.intervals):
+            if start <= minute < end:
+                return index
+        midpoints = [
+            abs((start + end) / 2 - minute) for start, end in self.intervals
+        ]
+        return int(np.argmin(midpoints))
+
+    def add(self, key, minute, value):
+        bucket = self._samples.setdefault(key, {})
+        bucket.setdefault(self._interval_index(minute), []).append(
+            float(value))
+
+    def count(self, key):
+        bucket = self._samples.get(key)
+        if not bucket:
+            return 0
+        return sum(len(samples) for samples in bucket.values())
+
+    def _summarize(self, samples):
+        samples = np.asarray(samples)
+        if self.representation == "gmm" and \
+                len(samples) >= 3 * self.n_components:
+            from .distributions import GaussianMixture
+
+            mixture = GaussianMixture.fit(
+                samples, self.n_components,
+                rng=np.random.default_rng(len(samples)))
+            return mixture.to_histogram(self.n_bins)
+        return Histogram.from_samples(samples, n_bins=self.n_bins)
+
+    def distribution(self, key):
+        """Build the fitted :class:`TimeVaryingDistribution` for ``key``."""
+        bucket = self._samples.get(key)
+        if not bucket:
+            return None
+        pooled = [v for samples in bucket.values() for v in samples]
+        fallback = self._summarize(pooled)
+        distributions = []
+        for index in range(len(self.intervals)):
+            samples = bucket.get(index)
+            if samples:
+                distributions.append(self._summarize(samples))
+            else:
+                distributions.append(fallback)
+        return TimeVaryingDistribution(self.intervals, distributions)
+
+
+class EdgeCentricModel:
+    """Per-edge ``(I, D)`` travel-time distributions, edges independent.
+
+    Parameters
+    ----------
+    intervals:
+        Day partition; defaults to one whole-day interval.
+    n_bins:
+        Histogram resolution.
+    """
+
+    def __init__(self, *, intervals=_FULL_DAY, n_bins=25,
+                 representation="histogram", n_components=2):
+        check_positive(n_bins, "n_bins")
+        self._store = _TraversalStore(intervals, n_bins,
+                                      representation, n_components)
+        self._fitted = {}
+
+    def fit(self, trips):
+        """Fit from ``(path, edge_times, departure_minute)`` triples."""
+        n_trips = 0
+        for path, edge_times, departure in trips:
+            n_trips += 1
+            minute = float(departure)
+            edges = list(zip(path, path[1:]))
+            if len(edge_times) != len(edges):
+                raise ValueError("edge_times must match the path edges")
+            for edge, duration in zip(edges, edge_times):
+                self._store.add(edge, minute, duration)
+                minute += float(duration)
+        if n_trips == 0:
+            raise ValueError("fit needs at least one trip")
+        self._fitted = {
+            key: self._store.distribution(key)
+            for key in self._store._samples
+        }
+        return self
+
+    @property
+    def n_edges(self):
+        return len(self._fitted)
+
+    def edge_distribution(self, u, v, minute=0.0):
+        """The fitted distribution of edge ``(u, v)`` at ``minute``."""
+        fitted = self._fitted.get((u, v))
+        if fitted is None:
+            raise KeyError(f"no traversals observed for edge ({u!r}, {v!r})")
+        return fitted.at(minute)
+
+    def path_distribution(self, path, departure_minute=0.0):
+        """Convolve edge distributions along ``path`` (independence).
+
+        The clock is advanced by each edge's mean so later edges use the
+        right interval.
+        """
+        edges = list(zip(path, path[1:]))
+        if not edges:
+            raise ValueError("path needs at least one edge")
+        minute = float(departure_minute)
+        result = None
+        for u, v in edges:
+            distribution = self.edge_distribution(u, v, minute)
+            result = (distribution if result is None
+                      else result.convolve(distribution))
+            minute += distribution.mean()
+        return result
+
+
+class PathCentricModel:
+    """PACE-style joint distributions over frequent sub-paths.
+
+    Sub-paths of length up to ``max_subpath_edges`` that were traversed
+    at least ``min_support`` times get their *own* empirical travel-time
+    distribution, capturing the correlation between their edges.  A
+    query path is covered greedily with the longest supported sub-paths;
+    segments are then convolved (independent across segments only).
+
+    Length-1 sub-paths (single edges) are always retained, so any path
+    whose edges were observed can be answered — with edge-centric
+    accuracy in the worst case and full-path accuracy in the best.
+    """
+
+    def __init__(self, *, max_subpath_edges=6, min_support=5,
+                 intervals=_FULL_DAY, n_bins=25,
+                 representation="histogram", n_components=2):
+        if max_subpath_edges < 1:
+            raise ValueError("max_subpath_edges must be >= 1")
+        if min_support < 1:
+            raise ValueError("min_support must be >= 1")
+        self.max_subpath_edges = int(max_subpath_edges)
+        self.min_support = int(min_support)
+        self._store = _TraversalStore(intervals, n_bins,
+                                      representation, n_components)
+        self._fitted = {}
+
+    def fit(self, trips):
+        """Fit from ``(path, edge_times, departure_minute)`` triples."""
+        n_trips = 0
+        for path, edge_times, departure in trips:
+            n_trips += 1
+            edges = list(zip(path, path[1:]))
+            if len(edge_times) != len(edges):
+                raise ValueError("edge_times must match the path edges")
+            starts = np.concatenate([[0.0], np.cumsum(edge_times)])
+            for begin in range(len(edges)):
+                limit = min(len(edges), begin + self.max_subpath_edges)
+                for end in range(begin + 1, limit + 1):
+                    key = tuple(path[begin:end + 1])
+                    minute = float(departure) + float(starts[begin])
+                    duration = float(starts[end] - starts[begin])
+                    self._store.add(key, minute, duration)
+        if n_trips == 0:
+            raise ValueError("fit needs at least one trip")
+        self._fitted = {}
+        for key in self._store._samples:
+            enough = self._store.count(key) >= self.min_support
+            if len(key) == 2 or enough:
+                self._fitted[key] = self._store.distribution(key)
+        return self
+
+    @property
+    def n_subpaths(self):
+        return len(self._fitted)
+
+    def coverage(self, path):
+        """Greedy longest-sub-path cover of ``path``.
+
+        Returns a list of node tuples whose concatenation is the path.
+        """
+        path = list(path)
+        if len(path) < 2:
+            raise ValueError("path needs at least one edge")
+        pieces = []
+        position = 0
+        while position < len(path) - 1:
+            found = None
+            longest = min(len(path) - 1 - position, self.max_subpath_edges)
+            for span in range(longest, 0, -1):
+                key = tuple(path[position:position + span + 1])
+                if key in self._fitted:
+                    found = key
+                    break
+            if found is None:
+                edge = (path[position], path[position + 1])
+                raise KeyError(f"no traversals observed for edge {edge!r}")
+            pieces.append(found)
+            position += len(found) - 1
+        return pieces
+
+    def path_distribution(self, path, departure_minute=0.0):
+        """Convolve the covering segments' joint distributions."""
+        minute = float(departure_minute)
+        result = None
+        for piece in self.coverage(path):
+            distribution = self._fitted[piece].at(minute)
+            result = (distribution if result is None
+                      else result.convolve(distribution))
+            minute += distribution.mean()
+        return result

@@ -1,0 +1,194 @@
+"""Tests for the AutoCTS-style automation layer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import seasonal_series
+from repro.analytics.automation import (
+    EvolutionarySearch,
+    RandomSearch,
+    SearchSpace,
+    SuccessiveHalving,
+    ZeroShotSelector,
+    build_forecaster,
+    dataset_meta_features,
+    evaluate_config,
+)
+from repro.analytics.forecasting import (
+    NaiveForecaster,
+    rolling_origin_evaluation,
+)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return seasonal_series(700, rng=np.random.default_rng(0))
+
+
+class TestSearchSpace:
+    def test_sample_is_valid(self):
+        space = SearchSpace()
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            config = space.sample(rng)
+            model = build_forecaster(config, period=96)
+            assert model is not None
+
+    def test_neighbors_differ_by_one_knob(self):
+        space = SearchSpace(families=("ar",))
+        config = {"family": "ar", "n_lags": 8, "ridge": 1.0,
+                  "use_seasonal_lag": False}
+        for neighbor in space.neighbors(config):
+            if neighbor["family"] == "ar":
+                diffs = sum(neighbor[k] != config[k]
+                            for k in config)
+                assert diffs == 1
+
+    def test_mutate_returns_neighbor(self):
+        space = SearchSpace()
+        rng = np.random.default_rng(2)
+        config = space.sample(rng)
+        mutated = space.mutate(config, rng)
+        assert mutated != config
+
+    def test_size_counts_everything(self):
+        space = SearchSpace(families=("naive", "ses"))
+        assert space.size() == 1 + 4  # naive + 4 alpha choices
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(families=("transformer",))
+        with pytest.raises(ValueError):
+            build_forecaster({"family": "transformer"}, 96)
+
+    def test_encode_is_stable(self):
+        a = {"family": "ar", "n_lags": 8}
+        b = {"n_lags": 8, "family": "ar"}
+        assert SearchSpace.encode(a) == SearchSpace.encode(b)
+
+
+class TestEvaluateConfig:
+    def test_infeasible_config_scores_inf(self):
+        short = seasonal_series(250, rng=np.random.default_rng(3))
+        score = evaluate_config({"family": "holt_winters",
+                                 "alpha_smooth": 0.3, "beta_smooth": 0.1,
+                                 "gamma_smooth": 0.2}, short, period=200)
+        assert score == float("inf")
+
+    def test_parameter_budget_enforced(self, series):
+        config = {"family": "ar", "n_lags": 24, "ridge": 1.0,
+                  "use_seasonal_lag": True}
+        unconstrained = evaluate_config(config, series, 96)
+        constrained = evaluate_config(config, series, 96,
+                                      max_parameters=5)
+        assert np.isfinite(unconstrained)
+        assert constrained == float("inf")
+
+
+class TestSearchers:
+    @pytest.mark.parametrize("searcher_class", [
+        RandomSearch, SuccessiveHalving, EvolutionarySearch])
+    def test_beats_naive_baseline(self, searcher_class, series):
+        searcher = searcher_class(rng=np.random.default_rng(4))
+        result = searcher.search(series, 96, budget=12)
+        naive = rolling_origin_evaluation(
+            lambda: NaiveForecaster(), series, horizon=12, n_origins=3)
+        assert result.best_score < naive["score"]
+
+    def test_random_search_history_length(self, series):
+        result = RandomSearch(rng=np.random.default_rng(5)).search(
+            series, 96, budget=7)
+        assert result.n_evaluations == 7
+        assert len(result.history) == 7
+
+    def test_halving_promotes_fewer_configs(self, series):
+        searcher = SuccessiveHalving(eta=3, rng=np.random.default_rng(6))
+        result = searcher.search(series, 96, budget=9)
+        assert np.isfinite(result.best_score)
+
+    def test_evolution_respects_budget(self, series):
+        searcher = EvolutionarySearch(population_size=4,
+                                      rng=np.random.default_rng(7))
+        result = searcher.search(series, 96, budget=10)
+        assert result.n_evaluations == 10
+
+    def test_constraint_respected_by_search(self, series):
+        searcher = RandomSearch(max_parameters=30,
+                                rng=np.random.default_rng(8))
+        result = searcher.search(series, 96, budget=10)
+        model = build_forecaster(result.best_config, 96)
+        model.fit(series)
+        assert getattr(model, "n_parameters", 0) <= 30
+
+    def test_halving_eta_validation(self):
+        with pytest.raises(ValueError):
+            SuccessiveHalving(eta=1)
+
+
+class TestZeroShot:
+    def test_meta_features_shape_and_ranges(self, series):
+        features = dataset_meta_features(series, 96)
+        assert features.shape == (8,)
+        assert 0.0 <= features[2] <= 1.0  # trend strength
+        assert 0.0 <= features[3] <= 1.0  # seasonal strength
+
+    def test_seasonal_strength_detects_seasonality(self):
+        seasonal = seasonal_series(500, noise_scale=0.05,
+                                   rng=np.random.default_rng(9))
+        noise_values = np.random.default_rng(10).normal(size=500)
+        from repro import TimeSeries
+
+        noise = TimeSeries(noise_values)
+        assert dataset_meta_features(seasonal, 96)[3] > \
+            dataset_meta_features(noise, 96)[3] + 0.3
+
+    def test_recommend_nearest_fingerprint(self, series):
+        selector = ZeroShotSelector()
+        selector.add_known(dataset_meta_features(series, 96),
+                           {"family": "seasonal_naive"})
+        other = seasonal_series(
+            690, amplitude=2.2, rng=np.random.default_rng(11))
+        selector.add_known(
+            dataset_meta_features(other, 96) + 100.0,  # far away
+            {"family": "naive"})
+        recommended = selector.recommend(series, 96)
+        assert recommended == {"family": "seasonal_naive"}
+
+    def test_recommend_without_training(self, series):
+        with pytest.raises(RuntimeError):
+            ZeroShotSelector().recommend(series, 96)
+
+    def test_add_dataset_runs_search(self, series):
+        selector = ZeroShotSelector(search_budget=5)
+        result = selector.add_dataset(series, 96)
+        assert selector.n_datasets == 1
+        assert np.isfinite(result.best_score)
+
+    def test_zero_shot_close_to_search(self):
+        """E9's claim: transfer is competitive with a fresh search at
+        zero evaluation cost."""
+        rng_pool = [seasonal_series(700, amplitude=a, noise_scale=n,
+                                    rng=np.random.default_rng(20 + i))
+                    for i, (a, n) in enumerate(
+                        [(1.0, 0.2), (2.0, 0.3), (3.0, 0.2), (1.5, 0.5)])]
+        selector = ZeroShotSelector(
+            searcher=RandomSearch(rng=np.random.default_rng(30)),
+            search_budget=10)
+        for dataset in rng_pool[:-1]:
+            selector.add_dataset(dataset, 96)
+        target = rng_pool[-1]
+        shortlist = selector.recommend_top(target, 96, k=3)
+        transfer_score = min(
+            evaluate_config(config, target, 96) for config in shortlist
+        )
+        # The shortlist (<= 3 evaluations) must beat a blind pick:
+        # better than the median of random configurations.
+        rng = np.random.default_rng(32)
+        space = SearchSpace()
+        random_scores = [
+            evaluate_config(space.sample(rng), target, 96)
+            for _ in range(12)
+        ]
+        finite = [s for s in random_scores if np.isfinite(s)]
+        assert np.isfinite(transfer_score)
+        assert transfer_score <= np.median(finite)

@@ -1,0 +1,155 @@
+"""Tests for classification: DTW, ROCKET, LightTS distillation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.classification import waveform_classification_dataset
+from repro.analytics.classification import (
+    KnnDtwClassifier,
+    LightTsDistiller,
+    RocketClassifier,
+    RocketFeatures,
+    dtw_distance,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    Xtr, ytr = waveform_classification_dataset(
+        30, 96, 3, rng=np.random.default_rng(0))
+    Xte, yte = waveform_classification_dataset(
+        15, 96, 3, rng=np.random.default_rng(1))
+    return Xtr, ytr, Xte, yte
+
+
+class TestDtw:
+    def test_identity_is_zero(self):
+        sequence = np.sin(np.arange(30) / 3.0)
+        assert dtw_distance(sequence, sequence) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=20), rng.normal(size=25)
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_absorbs_time_shift_better_than_euclidean(self):
+        t = np.arange(60)
+        a = np.sin(2 * np.pi * t / 30)
+        b = np.sin(2 * np.pi * (t + 4) / 30)
+        euclidean = float(np.sqrt(((a - b) ** 2).sum()))
+        assert dtw_distance(a, b, band=8) < euclidean
+
+    def test_band_constrains(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.normal(size=30), rng.normal(size=30)
+        tight = dtw_distance(a, b, band=1)
+        loose = dtw_distance(a, b, band=30)
+        assert loose <= tight + 1e-12
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            dtw_distance([], [1.0])
+
+
+class TestKnnDtw:
+    def test_accuracy_above_chance(self, dataset):
+        Xtr, ytr, Xte, yte = dataset
+        model = KnnDtwClassifier(band_fraction=0.1).fit(Xtr, ytr)
+        assert model.score(Xte[:12], yte[:12]) > 0.6
+
+    def test_predict_single_example(self, dataset):
+        Xtr, ytr, _, _ = dataset
+        model = KnnDtwClassifier().fit(Xtr, ytr)
+        assert model.predict(Xtr[0]).shape == (1,)
+
+    def test_memorizes_training_data(self, dataset):
+        Xtr, ytr, _, _ = dataset
+        model = KnnDtwClassifier(n_neighbors=1).fit(Xtr[:20], ytr[:20])
+        assert model.score(Xtr[:20], ytr[:20]) == 1.0
+
+    def test_validation(self, dataset):
+        Xtr, ytr, _, _ = dataset
+        with pytest.raises(ValueError):
+            KnnDtwClassifier(band_fraction=0.0)
+        with pytest.raises(ValueError):
+            KnnDtwClassifier().fit(Xtr, ytr[:-1])
+        with pytest.raises(RuntimeError):
+            KnnDtwClassifier().predict(Xtr)
+
+
+class TestRocket:
+    def test_high_accuracy(self, dataset):
+        Xtr, ytr, Xte, yte = dataset
+        model = RocketClassifier(200,
+                                 rng=np.random.default_rng(4)).fit(Xtr, ytr)
+        assert model.score(Xte, yte) > 0.85
+
+    def test_feature_shape(self, dataset):
+        Xtr, _, _, _ = dataset
+        features = RocketFeatures(50, rng=np.random.default_rng(5))
+        assert features.transform(Xtr).shape == (len(Xtr), 100)
+
+    def test_probabilities_normalized(self, dataset):
+        Xtr, ytr, Xte, _ = dataset
+        model = RocketClassifier(100,
+                                 rng=np.random.default_rng(6)).fit(Xtr, ytr)
+        proba = model.predict_proba(Xte)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0)
+
+    def test_single_class_rejected(self, dataset):
+        Xtr, _, _, _ = dataset
+        with pytest.raises(ValueError):
+            RocketClassifier().fit(Xtr, np.zeros(len(Xtr)))
+
+    def test_deterministic_under_seed(self, dataset):
+        Xtr, ytr, Xte, _ = dataset
+        a = RocketClassifier(80, rng=np.random.default_rng(7)).fit(Xtr, ytr)
+        b = RocketClassifier(80, rng=np.random.default_rng(7)).fit(Xtr, ytr)
+        assert np.array_equal(a.predict(Xte), b.predict(Xte))
+
+
+class TestLightTs:
+    @pytest.fixture(scope="class")
+    def distiller(self, dataset):
+        Xtr, ytr, _, _ = dataset
+        return LightTsDistiller(
+            teacher_sizes=(100, 150), student_kernels=20, bits=8,
+            rng=np.random.default_rng(8)).fit(Xtr, ytr)
+
+    def test_student_much_smaller_than_teacher(self, distiller):
+        assert distiller.student_size_bytes < \
+            distiller.teacher_size_bytes / 20
+
+    def test_student_accuracy_close_to_teacher(self, distiller, dataset):
+        _, _, Xte, yte = dataset
+        teacher = distiller.teacher_score(Xte, yte)
+        student = distiller.score(Xte, yte)
+        assert student >= teacher - 0.15
+        assert student > 0.7
+
+    def test_teacher_weights_normalized(self, distiller):
+        assert distiller.teacher_weights_.sum() == pytest.approx(1.0)
+
+    def test_budget_fitting_picks_feasible_bits(self, dataset):
+        Xtr, ytr, _, _ = dataset
+        distiller = LightTsDistiller(
+            teacher_sizes=(100,), student_kernels=15,
+            rng=np.random.default_rng(9))
+        distiller.fit_for_budget(Xtr, ytr, budget_bytes=150)
+        assert distiller.student_size_bytes <= 150
+
+    def test_budget_too_small(self, dataset):
+        Xtr, ytr, _, _ = dataset
+        distiller = LightTsDistiller(
+            teacher_sizes=(100,), student_kernels=15,
+            rng=np.random.default_rng(10))
+        with pytest.raises(ValueError):
+            distiller.fit_for_budget(Xtr, ytr, budget_bytes=10)
+
+    def test_lower_bits_smaller_size(self, distiller):
+        assert distiller.size_for_bits(4) < distiller.size_for_bits(16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LightTsDistiller(teacher_sizes=())

@@ -1,0 +1,29 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "repro" in output
+        assert "decision" in output
+
+    def test_demo_runs_full_pipeline(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        for layer in ("data", "governance", "analytics", "decision"):
+            assert f"[{layer}]" in output
+
+    def test_leaderboard_prints_table(self, capsys):
+        assert main(["leaderboard"]) == 0
+        output = capsys.readouterr().out
+        assert "mean_rank" in output
+        assert "snaive" in output
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])

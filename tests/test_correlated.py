@@ -1,0 +1,160 @@
+"""Tests for repro.datatypes.correlated."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CorrelatedTimeSeries
+
+
+def ring_adjacency(n):
+    adjacency = np.zeros((n, n))
+    for i in range(n):
+        adjacency[i, (i + 1) % n] = adjacency[(i + 1) % n, i] = 1.0
+    return adjacency
+
+
+def make_cts(m=30, n=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return CorrelatedTimeSeries(rng.normal(size=(m, n)),
+                                adjacency=ring_adjacency(n))
+
+
+class TestConstruction:
+    def test_shape_and_counts(self):
+        cts = make_cts(m=30, n=5)
+        assert len(cts) == 30
+        assert cts.n_sensors == 5
+        assert cts.n_edges == 5  # ring has n edges
+
+    def test_default_adjacency_is_empty(self):
+        cts = CorrelatedTimeSeries(np.zeros((4, 3)))
+        assert cts.n_edges == 0
+
+    def test_rejects_asymmetric_adjacency(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = 1.0
+        with pytest.raises(ValueError):
+            CorrelatedTimeSeries(np.zeros((4, 3)), adjacency=adjacency)
+
+    def test_rejects_negative_weights(self):
+        adjacency = ring_adjacency(3) * -1
+        with pytest.raises(ValueError):
+            CorrelatedTimeSeries(np.zeros((4, 3)), adjacency=adjacency)
+
+    def test_rejects_wrong_adjacency_shape(self):
+        with pytest.raises(ValueError):
+            CorrelatedTimeSeries(np.zeros((4, 3)),
+                                 adjacency=np.zeros((2, 2)))
+
+    def test_diagonal_zeroed(self):
+        adjacency = ring_adjacency(3)
+        np.fill_diagonal(adjacency, 5.0)
+        cts = CorrelatedTimeSeries(np.zeros((4, 3)), adjacency=adjacency)
+        assert np.all(np.diag(cts.adjacency) == 0)
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(ValueError):
+            CorrelatedTimeSeries(np.zeros((4, 3)), names=["a", "b"])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            CorrelatedTimeSeries(np.zeros(4))
+
+
+class TestAccessors:
+    def test_sensor_extraction(self):
+        cts = make_cts()
+        sensor = cts.sensor(2)
+        assert sensor.is_univariate
+        assert sensor.name == "sensor_2"
+        assert np.allclose(sensor.values[:, 0], cts.values[:, 2])
+
+    def test_neighbors_on_ring(self):
+        cts = make_cts(n=5)
+        assert set(cts.neighbors(0)) == {1, 4}
+
+    def test_neighbors_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_cts(n=5).neighbors(9)
+
+    def test_as_timeseries_shape(self):
+        cts = make_cts(m=10, n=4)
+        series = cts.as_timeseries()
+        assert series.values.shape == (10, 4)
+
+
+class TestGraph:
+    def test_normalized_adjacency_row_sums(self):
+        cts = make_cts(n=6)
+        normalized = cts.normalized_adjacency()
+        # Ring with unit weights: every row sums to 1 after symmetric
+        # normalization (degree 2 everywhere).
+        assert np.allclose(normalized.sum(axis=1), 1.0)
+
+    def test_normalized_adjacency_isolated_sensor(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        cts = CorrelatedTimeSeries(np.zeros((4, 3)), adjacency=adjacency)
+        normalized = cts.normalized_adjacency()
+        assert np.all(normalized[2] == 0)
+
+    def test_correlation_graph_finds_correlated_pair(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=200)
+        values = np.column_stack([
+            base,
+            base + 0.1 * rng.normal(size=200),
+            rng.normal(size=200),
+        ])
+        adjacency = CorrelatedTimeSeries.correlation_graph(values, 0.8)
+        assert adjacency[0, 1] > 0.8
+        assert adjacency[0, 2] == 0.0
+
+    def test_correlation_graph_symmetric(self):
+        rng = np.random.default_rng(1)
+        adjacency = CorrelatedTimeSeries.correlation_graph(
+            rng.normal(size=(100, 4)), 0.1
+        )
+        assert np.allclose(adjacency, adjacency.T)
+
+
+class TestTransformations:
+    def test_slice_keeps_graph(self):
+        cts = make_cts()
+        part = cts.slice(5, 15)
+        assert len(part) == 10
+        assert np.allclose(part.adjacency, cts.adjacency)
+
+    def test_split_partition(self):
+        cts = make_cts(m=20)
+        head, tail = cts.split(0.75)
+        assert len(head) == 15 and len(tail) == 5
+        assert np.allclose(np.vstack([head.values, tail.values]), cts.values)
+
+    def test_with_values_keeps_names(self):
+        cts = make_cts(m=10, n=3)
+        replaced = cts.with_values(np.zeros((10, 3)))
+        assert replaced.names == cts.names
+
+    def test_corrupt_preserves_graph(self):
+        rng = np.random.default_rng(0)
+        cts = make_cts(m=100)
+        corrupted = cts.corrupt(0.2, rng)
+        assert np.allclose(corrupted.adjacency, cts.adjacency)
+        assert corrupted.missing_fraction() == pytest.approx(0.2, abs=0.06)
+
+
+@settings(deadline=None, max_examples=20)
+@given(n=st.integers(min_value=2, max_value=8), seed=st.integers(0, 50))
+def test_normalized_adjacency_spectral_radius(n, seed):
+    """Symmetric normalization keeps the spectral radius at most 1,
+    the contraction property graph smoothing relies on."""
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(0, 1, size=(n, n))
+    adjacency = np.triu(weights, 1)
+    adjacency = adjacency + adjacency.T
+    cts = CorrelatedTimeSeries(np.zeros((3, n)), adjacency=adjacency)
+    eigenvalues = np.linalg.eigvalsh(cts.normalized_adjacency())
+    assert np.max(np.abs(eigenvalues)) <= 1.0 + 1e-9

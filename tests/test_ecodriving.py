@@ -1,0 +1,122 @@
+"""Tests for eco-driving speed planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decision.ecodriving import EcoDrivingPlanner, FuelModel
+
+
+class TestFuelModel:
+    def test_curve_is_u_shaped(self):
+        model = FuelModel()
+        optimum = model.optimal_speed
+        speeds = np.array([optimum * 0.5, optimum, optimum * 2.0])
+        fuel = model.per_distance(speeds)
+        assert fuel[1] < fuel[0]
+        assert fuel[1] < fuel[2]
+
+    def test_optimal_speed_is_stationary_point(self):
+        model = FuelModel()
+        v = model.optimal_speed
+        epsilon = 1e-4
+        assert model.per_distance(v) <= model.per_distance(v + epsilon)
+        assert model.per_distance(v) <= model.per_distance(v - epsilon)
+
+    def test_time_price_raises_speed(self):
+        model = FuelModel()
+        assert model.speed_for_time_price(100.0) > \
+            model.speed_for_time_price(0.0)
+
+    def test_zero_time_price_matches_optimum(self):
+        model = FuelModel()
+        assert model.speed_for_time_price(0.0) == pytest.approx(
+            model.optimal_speed)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FuelModel(a=0.0)
+        with pytest.raises(ValueError):
+            FuelModel().per_distance(0.0)
+        with pytest.raises(ValueError):
+            FuelModel().speed_for_time_price(-1.0)
+
+
+class TestPlanner:
+    SEGMENTS = [(10.0, 130.0), (5.0, 80.0), (20.0, 110.0)]
+
+    def test_unconstrained_plan_uses_optimal_speed(self):
+        planner = EcoDrivingPlanner()
+        plan = planner.plan(self.SEGMENTS)
+        optimum = planner.fuel_model.optimal_speed
+        expected = np.minimum(optimum,
+                              [limit for _, limit in self.SEGMENTS])
+        assert np.allclose(plan["speeds"], expected)
+
+    def test_deadline_binds(self):
+        planner = EcoDrivingPlanner()
+        relaxed = planner.plan(self.SEGMENTS)
+        deadline = relaxed["travel_time"] * 0.8
+        plan = planner.plan(self.SEGMENTS, deadline)
+        assert plan["travel_time"] == pytest.approx(deadline, rel=1e-4)
+        assert plan["fuel"] > relaxed["fuel"]
+
+    def test_speeds_respect_limits(self):
+        planner = EcoDrivingPlanner()
+        baseline = planner.baseline_at_limits(self.SEGMENTS)
+        plan = planner.plan(self.SEGMENTS,
+                            baseline["travel_time"] * 1.01)
+        limits = np.array([limit for _, limit in self.SEGMENTS])
+        assert np.all(plan["speeds"] <= limits + 1e-9)
+
+    def test_infeasible_deadline(self):
+        planner = EcoDrivingPlanner()
+        fastest = planner.baseline_at_limits(self.SEGMENTS)
+        with pytest.raises(ValueError):
+            planner.plan(self.SEGMENTS, fastest["travel_time"] * 0.5)
+
+    def test_savings_positive_with_slack(self):
+        """The paper's eco-driving claim: informed speed choice cuts
+        fuel at equal punctuality."""
+        planner = EcoDrivingPlanner()
+        baseline = planner.baseline_at_limits(self.SEGMENTS)
+        saved, plan, base = planner.savings(
+            self.SEGMENTS, baseline["travel_time"] * 1.3)
+        assert saved > 0.1  # >10% fuel saved with 30% time slack
+        assert plan["travel_time"] <= base["travel_time"] * 1.3 + 1e-6
+
+    def test_equal_marginal_tradeoff_across_segments(self):
+        """At the optimum, every non-clamped segment drives the same
+        speed (the Lagrangian condition)."""
+        planner = EcoDrivingPlanner()
+        segments = [(10.0, 200.0), (15.0, 200.0), (5.0, 200.0)]
+        relaxed = planner.plan(segments)
+        plan = planner.plan(segments, relaxed["travel_time"] * 0.7)
+        assert np.allclose(plan["speeds"], plan["speeds"][0])
+
+    def test_validation(self):
+        planner = EcoDrivingPlanner()
+        with pytest.raises(ValueError):
+            planner.plan([])
+        with pytest.raises(ValueError):
+            planner.plan([(0.0, 100.0)])
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    slack=st.floats(min_value=1.02, max_value=3.0),
+    seed=st.integers(0, 100),
+)
+def test_fuel_monotone_in_deadline_property(slack, seed):
+    """More time slack never costs more fuel (convexity)."""
+    rng = np.random.default_rng(seed)
+    segments = [
+        (float(rng.uniform(1, 20)), float(rng.uniform(60, 140)))
+        for _ in range(int(rng.integers(1, 6)))
+    ]
+    planner = EcoDrivingPlanner()
+    fastest = planner.baseline_at_limits(segments)["travel_time"]
+    tight = planner.plan(segments, fastest * 1.01)
+    loose = planner.plan(segments, fastest * slack)
+    assert loose["fuel"] <= tight["fuel"] + 1e-9

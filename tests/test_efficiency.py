@@ -1,0 +1,179 @@
+"""Tests for quantization, QCore calibration, condensation, distillation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import seasonal_series
+from repro.datasets.classification import waveform_classification_dataset
+from repro.analytics.classification import RocketClassifier
+from repro.analytics.efficiency import (
+    DistilledForecaster,
+    QuantizedLinear,
+    TimeSeriesCondenser,
+    dequantize_array,
+    model_size_bytes,
+    quantize_array,
+)
+from repro.analytics.forecasting import (
+    ARForecaster,
+    EnsembleForecaster,
+    HoltWintersForecaster,
+    SeasonalNaiveForecaster,
+)
+from repro.analytics.metrics import mae
+
+
+class TestQuantization:
+    def test_roundtrip_error_bounded_by_scale(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(30, 4))
+        for bits in (16, 8, 4, 2):
+            codes, scale = quantize_array(values, bits)
+            restored = dequantize_array(codes, scale)
+            assert np.abs(restored - values).max() <= scale / 2 + 1e-12
+
+    def test_error_shrinks_with_bits(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=100)
+        errors = []
+        for bits in (2, 4, 8, 16):
+            codes, scale = quantize_array(values, bits)
+            errors.append(np.abs(codes * scale - values).mean())
+        assert errors == sorted(errors, reverse=True)
+
+    def test_zero_array(self):
+        codes, scale = quantize_array(np.zeros(5), 8)
+        assert np.all(codes == 0)
+        assert scale == 1.0
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            quantize_array([1.0], 1)
+        with pytest.raises(ValueError):
+            quantize_array([1.0], 64)
+
+    def test_model_size_bytes(self):
+        assert model_size_bytes(100, 8) == 104
+        assert model_size_bytes(100, 4) == 54
+
+
+class TestQuantizedLinear:
+    def test_predictions_close_to_float(self):
+        rng = np.random.default_rng(2)
+        weights = rng.normal(size=(10, 3))
+        intercept = rng.normal(size=3)
+        layer = QuantizedLinear(weights, intercept, 8)
+        inputs = rng.normal(size=(50, 10))
+        exact = inputs @ weights + intercept
+        assert np.abs(layer.predict(inputs) - exact).max() < 0.1
+
+    def test_size_scales_with_bits(self):
+        weights = np.ones((100, 2))
+        small = QuantizedLinear(weights, np.zeros(2), 4).size_bytes
+        large = QuantizedLinear(weights, np.zeros(2), 16).size_bytes
+        assert small < large
+
+    def test_calibration_fixes_drift(self):
+        """QCore's claim [48]: adjusting scales alone recovers accuracy
+        after a distribution shift, without touching integer codes."""
+        rng = np.random.default_rng(3)
+        weights = rng.normal(size=(8, 2))
+        layer = QuantizedLinear(weights, np.zeros(2), 8)
+        codes_before = layer.codes.copy()
+        inputs = rng.normal(size=(300, 8))
+        drifted = inputs @ (1.4 * weights) + 0.3
+        error_before = np.abs(layer.predict(inputs) - drifted).mean()
+        layer.calibrate(inputs, drifted)
+        error_after = np.abs(layer.predict(inputs) - drifted).mean()
+        assert error_after < 0.2 * error_before
+        assert np.array_equal(layer.codes, codes_before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantizedLinear(np.ones((3, 2)), np.zeros(5), 8)
+        layer = QuantizedLinear(np.ones((3, 2)), np.zeros(2), 8)
+        with pytest.raises(ValueError):
+            layer.calibrate(np.zeros((4, 3)), np.zeros((5, 2)))
+
+
+class TestCondensation:
+    @pytest.fixture(scope="class")
+    def labeled(self):
+        X, y = waveform_classification_dataset(
+            60, 96, 3, rng=np.random.default_rng(4))
+        Xte, yte = waveform_classification_dataset(
+            25, 96, 3, rng=np.random.default_rng(5))
+        return X, y, Xte, yte
+
+    def test_condensed_shape(self, labeled):
+        X, y, _, _ = labeled
+        condenser = TimeSeriesCondenser(4, rng=np.random.default_rng(6))
+        Xc, yc = condenser.fit_labeled(X, y)
+        assert Xc.shape == (12, 96)
+        assert sorted(np.unique(yc)) == sorted(np.unique(y))
+
+    def test_condensed_trains_competitive_classifier(self, labeled):
+        """E17's claim: the condensed set preserves training utility far
+        beyond its size."""
+        X, y, Xte, yte = labeled
+        condenser = TimeSeriesCondenser(5, rng=np.random.default_rng(7))
+        Xc, yc = condenser.fit_labeled(X, y)
+        full = RocketClassifier(
+            150, rng=np.random.default_rng(8)).fit(X, y).score(Xte, yte)
+        condensed = RocketClassifier(
+            150, rng=np.random.default_rng(8)).fit(Xc, yc).score(Xte, yte)
+        assert condensed > 0.75
+        assert condensed >= full - 0.15
+
+    def test_two_fold_beats_time_only(self, labeled):
+        X, y, Xte, yte = labeled
+        scores = {}
+        for weight in (0.0, 1.0):
+            condenser = TimeSeriesCondenser(
+                5, frequency_weight=weight, rng=np.random.default_rng(9))
+            Xc, yc = condenser.fit_labeled(X, y)
+            scores[weight] = RocketClassifier(
+                150, rng=np.random.default_rng(10)).fit(
+                    Xc, yc).score(Xte, yte)
+        assert scores[1.0] >= scores[0.0] - 0.05
+
+    def test_unlabeled_fit(self):
+        rng = np.random.default_rng(11)
+        windows = rng.normal(size=(100, 32))
+        condenser = TimeSeriesCondenser(8, rng=rng).fit(windows)
+        assert condenser.condensed.shape == (8, 32)
+        assert condenser.compression_ratio(100) == pytest.approx(12.5)
+
+    def test_too_small_dataset(self):
+        with pytest.raises(ValueError):
+            TimeSeriesCondenser(10).fit(np.zeros((5, 8)))
+
+
+class TestDistillation:
+    def test_student_tracks_teacher(self):
+        series = seasonal_series(900, rng=np.random.default_rng(12))
+        train, test = series.split(0.95)
+        teacher = EnsembleForecaster([
+            SeasonalNaiveForecaster(96),
+            ARForecaster(12, seasonal_period=96),
+            HoltWintersForecaster(96),
+        ])
+        student = DistilledForecaster(teacher, n_lags=6).fit(train)
+        prediction = student.predict(len(test))
+        assert prediction.shape == (len(test), 1)
+        assert mae(test.values, prediction) < 3 * test.values.std()
+
+    def test_quantized_student_reports_size(self):
+        series = seasonal_series(600, rng=np.random.default_rng(13))
+        student = DistilledForecaster(
+            SeasonalNaiveForecaster(96), n_lags=4, bits=8).fit(series)
+        float_student = DistilledForecaster(
+            SeasonalNaiveForecaster(96), n_lags=4).fit(series)
+        assert student.size_bytes < float_student.size_bytes
+
+    def test_short_series_rejected(self):
+        from repro import TimeSeries
+
+        with pytest.raises(ValueError):
+            DistilledForecaster(SeasonalNaiveForecaster(4),
+                                n_lags=4).fit(TimeSeries(np.zeros(6)))

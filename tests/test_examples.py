@@ -1,0 +1,30 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; these tests keep them from
+rotting as the library evolves.  Output volume is checked loosely so a
+silently-broken example (empty output) fails too.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(SCRIPTS) >= 6
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert len(result.stdout.strip()) > 100  # produced a real report
+    assert "Traceback" not in result.stderr

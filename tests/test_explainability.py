@@ -1,0 +1,168 @@
+"""Tests for the explainability layer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import seasonal_series, traffic_speed_dataset
+from repro.analytics.anomaly import AutoencoderDetector
+from repro.analytics.explainability import (
+    SparseSurrogate,
+    explanation_accuracy,
+    granger_matrix,
+    inject_channel_anomalies,
+    lagged_correlation_graph,
+    permutation_importance,
+)
+
+
+class TestChannelAnomalies:
+    def test_cell_labels_shape(self):
+        series = seasonal_series(300, n_channels=3,
+                                 rng=np.random.default_rng(0))
+        corrupted, cells = inject_channel_anomalies(
+            series, 0.05, rng=np.random.default_rng(1))
+        assert cells.shape == (300, 3)
+        assert cells.any()
+
+    def test_only_marked_cells_changed(self):
+        series = seasonal_series(300, n_channels=3,
+                                 rng=np.random.default_rng(2))
+        corrupted, cells = inject_channel_anomalies(
+            series, 0.05, rng=np.random.default_rng(3))
+        unchanged = ~cells
+        assert np.allclose(corrupted.values[unchanged],
+                           series.values[unchanged])
+        assert not np.allclose(corrupted.values[cells],
+                               series.values[cells])
+
+
+class TestExplanationAccuracy:
+    def test_detector_errors_localize_anomalies(self):
+        """The metric of [35]: per-cell reconstruction errors should
+        identify the corrupted cells."""
+        train = seasonal_series(900, n_channels=3,
+                                rng=np.random.default_rng(4))
+        test = seasonal_series(400, n_channels=3,
+                               rng=np.random.default_rng(5))
+        corrupted, cells = inject_channel_anomalies(
+            test, 0.05, rng=np.random.default_rng(6))
+        detector = AutoencoderDetector(window=16, n_epochs=30,
+                                       rng=np.random.default_rng(7))
+        detector.fit(train)
+        accuracy = explanation_accuracy(
+            detector.feature_errors(corrupted), cells)
+        assert accuracy > 0.9
+
+    def test_random_errors_score_half(self):
+        rng = np.random.default_rng(8)
+        cells = rng.random((200, 2)) < 0.1
+        if not cells.any():
+            cells[0, 0] = True
+        accuracy = explanation_accuracy(rng.random((200, 2)), cells)
+        assert 0.3 < accuracy < 0.7
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            explanation_accuracy(np.zeros((5, 2)),
+                                 np.zeros((5, 3), dtype=bool))
+
+
+class TestPermutationImportance:
+    def test_identifies_used_features(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(400, 5))
+        y = 4.0 * X[:, 1] + 0.01 * rng.normal(size=400)
+
+        def predict(inputs):
+            return 4.0 * inputs[:, 1]
+
+        importances = permutation_importance(predict, X, y,
+                                             rng=np.random.default_rng(10))
+        assert np.argmax(importances) == 1
+        assert importances[1] > 10 * max(importances[0], 1e-9)
+
+    def test_ignored_features_near_zero(self):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(300, 3))
+        y = X[:, 0]
+        importances = permutation_importance(
+            lambda inputs: inputs[:, 0], X, y,
+            rng=np.random.default_rng(12))
+        assert abs(importances[2]) < 1e-9
+
+
+class TestSparseSurrogate:
+    def test_recovers_true_support(self):
+        rng = np.random.default_rng(13)
+        X = rng.normal(size=(500, 12))
+        black_box = 2.0 * X[:, 3] - 1.5 * X[:, 9]
+        surrogate = SparseSurrogate(n_features=2).fit(X, black_box)
+        assert set(surrogate.support_) == {3, 9}
+        assert surrogate.fidelity(X, black_box) > 0.95
+
+    def test_explanation_sorted_by_magnitude(self):
+        rng = np.random.default_rng(14)
+        X = rng.normal(size=(300, 6))
+        black_box = 5.0 * X[:, 0] + 1.0 * X[:, 1]
+        surrogate = SparseSurrogate(n_features=2).fit(X, black_box)
+        explanation = surrogate.explanation(list("abcdef"))
+        assert explanation[0][0] == "a"
+        assert abs(explanation[0][1]) > abs(explanation[1][1])
+
+    def test_fidelity_degrades_for_nonlinear_box(self):
+        rng = np.random.default_rng(15)
+        X = rng.normal(size=(400, 4))
+        linear_box = X[:, 0]
+        nonlinear_box = np.sin(3.0 * X[:, 0]) * X[:, 1]
+        good = SparseSurrogate(2).fit(X, linear_box).fidelity(X, linear_box)
+        poor = SparseSurrogate(2).fit(X, nonlinear_box).fidelity(
+            X, nonlinear_box)
+        assert good > poor
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            SparseSurrogate().predict(np.zeros((2, 3)))
+
+
+class TestAssociations:
+    def test_lagged_correlation_finds_leader(self):
+        rng = np.random.default_rng(16)
+        n = 500
+        leader = rng.normal(size=n).cumsum() * 0.2
+        follower = np.zeros(n)
+        follower[3:] = leader[:-3]
+        values = np.column_stack([leader, follower])
+        values += rng.normal(0, 0.01, values.shape)
+        from repro import CorrelatedTimeSeries
+
+        dataset = CorrelatedTimeSeries(values)
+        strength, lead = lagged_correlation_graph(dataset, max_lag=6)
+        assert strength[0, 1] > 0.9
+        assert lead[0, 1] == 3  # sensor 0 leads sensor 1 by 3 steps
+
+    def test_granger_directionality(self):
+        rng = np.random.default_rng(17)
+        n = 600
+        driver = rng.normal(size=n)
+        driven = np.zeros(n)
+        for t in range(1, n):
+            driven[t] = 0.9 * driver[t - 1] + 0.05 * rng.normal()
+        from repro import CorrelatedTimeSeries
+
+        dataset = CorrelatedTimeSeries(np.column_stack([driver, driven]))
+        influence = granger_matrix(dataset, n_lags=3)
+        assert influence[0, 1] > 0.5      # driver explains driven
+        assert influence[1, 0] < 0.2      # but not vice versa
+
+    def test_traffic_neighbors_more_associated(self):
+        dataset = traffic_speed_dataset(n_sensors=8, n_days=5, n_events=0,
+                                        rng=np.random.default_rng(18))
+        strength, _ = lagged_correlation_graph(dataset, max_lag=2)
+        assert strength.max() <= 1.0
+        assert np.allclose(strength, strength.T)
+
+    def test_type_checks(self):
+        with pytest.raises(TypeError):
+            lagged_correlation_graph(np.zeros((10, 3)))
+        with pytest.raises(TypeError):
+            granger_matrix(np.zeros((10, 3)))

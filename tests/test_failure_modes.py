@@ -1,0 +1,155 @@
+"""Failure-injection tests: pathological inputs must fail loudly.
+
+"Errors should never pass silently."  Each test feeds a public API a
+degenerate input — empty, constant, single-point, non-finite — and
+checks that the library either handles it gracefully (documented
+behaviour) or raises a clear standard exception, never returning silent
+garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RoadNetwork, TimeSeries
+from repro.analytics.anomaly import AutoencoderDetector, SpectralResidualDetector
+from repro.analytics.forecasting import (
+    ARForecaster,
+    HoltWintersForecaster,
+    NaiveForecaster,
+    SeasonalNaiveForecaster,
+)
+from repro.analytics.metrics import best_f1, mae, roc_auc
+from repro.governance.imputation import KalmanImputer, impute_linear
+from repro.governance.uncertainty import GaussianMixture, Histogram
+
+
+class TestConstantSeries:
+    """A constant series is legal data and must not produce NaNs."""
+
+    CONSTANT = TimeSeries(np.full(300, 5.0))
+
+    def test_forecasters_predict_the_constant(self):
+        for forecaster in (NaiveForecaster(), ARForecaster(n_lags=4),
+                           SeasonalNaiveForecaster(10)):
+            prediction = forecaster.forecast(self.CONSTANT, 5)
+            assert np.allclose(prediction, 5.0, atol=0.2)
+
+    def test_standardized_handles_zero_variance(self):
+        scaled, mean, std = self.CONSTANT.standardized()
+        assert np.isfinite(scaled.values).all()
+
+    def test_detector_scores_finite(self):
+        detector = AutoencoderDetector(window=16, n_epochs=5,
+                                       rng=np.random.default_rng(0))
+        detector.fit(self.CONSTANT)
+        scores = detector.score(self.CONSTANT)
+        assert np.isfinite(scores).all()
+
+    def test_imputers_fill_with_the_constant(self):
+        gappy = self.CONSTANT.corrupt(0.3, np.random.default_rng(1))
+        filled = impute_linear(gappy)
+        assert np.allclose(filled.values, 5.0)
+
+    def test_histogram_of_identical_samples(self):
+        histogram = Histogram.from_samples(np.full(50, 3.0))
+        assert histogram.mean() == pytest.approx(3.0, abs=1e-6)
+        assert np.isfinite(histogram.quantile(0.5))
+
+
+class TestNonFiniteInputs:
+    def test_timeseries_treats_nan_as_missing_not_data(self):
+        series = TimeSeries([1.0, np.nan, 3.0])
+        assert series.missing_fraction() == pytest.approx(1 / 3)
+
+    def test_forecaster_rejects_nan(self):
+        with pytest.raises(ValueError):
+            NaiveForecaster().fit(TimeSeries([1.0, np.nan, 3.0]))
+
+    def test_detector_rejects_nan(self):
+        with pytest.raises(ValueError):
+            SpectralResidualDetector().score(
+                TimeSeries([1.0, np.nan, 3.0]))
+
+    def test_probability_vector_rejects_inf(self):
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, [np.inf, 1.0])
+
+    def test_metrics_propagate_rather_than_hide_nan(self):
+        # A nan prediction must surface in the metric, not vanish.
+        assert np.isnan(mae([1.0, 2.0], [np.nan, 2.0]))
+
+
+class TestDegenerateSizes:
+    def test_single_observation_series(self):
+        series = TimeSeries([7.0])
+        assert len(series) == 1
+        with pytest.raises(ValueError):
+            series.split(0.5)  # cannot split a single point
+
+    def test_two_point_histogram(self):
+        histogram = Histogram.from_samples([1.0, 2.0], n_bins=2)
+        assert histogram.probabilities.sum() == pytest.approx(1.0)
+
+    def test_gmm_more_components_than_samples(self):
+        with pytest.raises(ValueError):
+            GaussianMixture.fit([1.0, 2.0], n_components=5)
+
+    def test_holt_winters_one_period_exactly(self):
+        with pytest.raises(ValueError):
+            HoltWintersForecaster(96).fit(TimeSeries(np.zeros(96)))
+
+    def test_kalman_on_two_points(self):
+        filled = KalmanImputer(2).impute(TimeSeries([1.0, np.nan, 2.0]))
+        assert filled.is_complete()
+        assert np.isfinite(filled.values).all()
+
+    def test_smallest_legal_grid(self):
+        network = RoadNetwork.grid(2, 2)
+        assert network.shortest_path((0, 0), (1, 1))
+
+
+class TestLabelEdgeCases:
+    def test_all_positive_labels(self):
+        with pytest.raises(ValueError):
+            roc_auc([True, True], [0.1, 0.9])
+
+    def test_single_anomaly_best_f1(self):
+        labels = np.zeros(50, dtype=bool)
+        labels[25] = True
+        scores = np.zeros(50)
+        scores[25] = 1.0
+        f1, threshold = best_f1(labels, scores)
+        assert f1 == 1.0
+
+    def test_anomaly_at_series_boundary(self):
+        rng = np.random.default_rng(2)
+        values = np.sin(np.arange(400) / 20) + 0.05 * rng.normal(size=400)
+        values[0] += 5.0
+        values[-1] += 5.0
+        detector = AutoencoderDetector(window=16, n_epochs=20,
+                                       rng=np.random.default_rng(3))
+        detector.fit(TimeSeries(np.sin(np.arange(400) / 20)))
+        scores = detector.score(TimeSeries(values))
+        # Boundary anomalies are covered by fewer windows but must
+        # still stand out.
+        assert scores[0] > np.median(scores) * 3
+        assert scores[-1] > np.median(scores) * 3
+
+
+class TestAdversarialDistributions:
+    def test_extreme_outlier_in_histogram_fit(self):
+        samples = np.concatenate([np.random.default_rng(4).normal(
+            0, 1, 500), [1e6]])
+        histogram = Histogram.from_samples(samples, n_bins=30)
+        # The histogram survives, and the quantiles reflect the bulk.
+        assert np.isfinite(histogram.mean())
+        assert histogram.quantile(0.5) < 1e5
+
+    def test_convolving_wildly_different_scales(self):
+        narrow = Histogram.from_samples(
+            np.random.default_rng(5).normal(0, 0.001, 200))
+        wide = Histogram.from_samples(
+            np.random.default_rng(6).normal(0, 1000.0, 200))
+        total = narrow.convolve(wide)
+        assert total.probabilities.sum() == pytest.approx(1.0)
+        assert total.std() == pytest.approx(wide.std(), rel=0.2)

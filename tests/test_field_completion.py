@@ -1,0 +1,88 @@
+"""Tests for spatio-temporal field completion (the buoy scenario [2])."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import sparse_buoy_observations, wave_field_dataset
+from repro.governance.imputation import complete_field
+
+
+@pytest.fixture(scope="module")
+def field():
+    sequence = wave_field_dataset(n_frames=30, grid=(12, 12),
+                                  rng=np.random.default_rng(0))
+    observed, buoys = sparse_buoy_observations(
+        sequence, 0.15, rng=np.random.default_rng(1))
+    return sequence, observed, buoys
+
+
+class TestCompleteField:
+    def test_output_complete_and_shaped(self, field):
+        sequence, observed, _ = field
+        completed = complete_field(sequence, observed)
+        assert completed.shape == observed.shape
+        assert not np.isnan(completed).any()
+
+    def test_observed_cells_pass_through(self, field):
+        sequence, observed, _ = field
+        completed = complete_field(sequence, observed)
+        mask = ~np.isnan(observed)
+        assert np.allclose(completed[mask], observed[mask])
+
+    def test_beats_global_mean(self, field):
+        sequence, observed, _ = field
+        truth = sequence.frames[..., 0]
+        hidden = np.isnan(observed)
+        completed = complete_field(sequence, observed, bandwidth=1.5)
+        model_error = np.abs(completed[hidden] - truth[hidden]).mean()
+        mean_error = np.abs(truth[~hidden].mean()
+                            - truth[hidden]).mean()
+        assert model_error < 0.8 * mean_error
+
+    def test_more_buoys_help(self):
+        sequence = wave_field_dataset(n_frames=20, grid=(12, 12),
+                                      rng=np.random.default_rng(2))
+        truth = sequence.frames[..., 0]
+        errors = []
+        for fraction in (0.05, 0.3):
+            observed, _ = sparse_buoy_observations(
+                sequence, fraction, rng=np.random.default_rng(3))
+            hidden = np.isnan(observed)
+            completed = complete_field(sequence, observed,
+                                       bandwidth=1.5)
+            errors.append(np.abs(completed[hidden]
+                                 - truth[hidden]).mean())
+        assert errors[1] < errors[0]
+
+    def test_narrow_bandwidth_sharper_near_buoys(self, field):
+        sequence, observed, buoys = field
+        truth = sequence.frames[..., 0]
+        # Cells adjacent to a buoy should be very accurate.
+        adjacent = np.zeros_like(buoys)
+        rows, cols = np.nonzero(buoys)
+        for r, c in zip(rows, cols):
+            if r + 1 < buoys.shape[0]:
+                adjacent[r + 1, c] = True
+        adjacent &= ~buoys
+        if adjacent.any():
+            completed = complete_field(sequence, observed,
+                                       bandwidth=1.5)
+            near_error = np.abs(
+                completed[:, adjacent] - truth[:, adjacent]).mean()
+            assert near_error < truth.std()
+
+    def test_shape_validation(self, field):
+        sequence, observed, _ = field
+        with pytest.raises(ValueError):
+            complete_field(sequence, observed[:, :4, :4])
+
+    def test_requires_observations(self, field):
+        sequence, observed, _ = field
+        with pytest.raises(ValueError):
+            complete_field(sequence, np.full_like(observed, np.nan))
+
+    def test_no_temporal_smoothing_still_works(self, field):
+        sequence, observed, _ = field
+        completed = complete_field(sequence, observed,
+                                   temporal_smoothing=0.0)
+        assert not np.isnan(completed).any()

@@ -1,0 +1,402 @@
+"""Tests for the forecasting family."""
+
+import numpy as np
+import pytest
+
+from repro import TimeSeries
+from repro.datasets import seasonal_series, traffic_speed_dataset
+from repro.analytics.forecasting import (
+    ARForecaster,
+    DriftForecaster,
+    EnsembleForecaster,
+    ExogenousForecaster,
+    GaussianForecaster,
+    GraphFilterForecaster,
+    HoltForecaster,
+    HoltWintersForecaster,
+    NaiveForecaster,
+    QuantileForecaster,
+    SeasonalNaiveForecaster,
+    SimpleExponentialSmoothing,
+    VARForecaster,
+    ridge_fit,
+    rolling_origin_evaluation,
+)
+from repro.analytics.metrics import mae
+
+
+@pytest.fixture(scope="module")
+def seasonal():
+    return seasonal_series(800, rng=np.random.default_rng(0))
+
+
+def all_point_forecasters():
+    return [
+        NaiveForecaster(),
+        SeasonalNaiveForecaster(96),
+        DriftForecaster(),
+        SimpleExponentialSmoothing(),
+        HoltForecaster(),
+        HoltWintersForecaster(96),
+        ARForecaster(n_lags=8),
+        VARForecaster(n_lags=4),
+    ]
+
+
+class TestContract:
+    @pytest.mark.parametrize("forecaster", all_point_forecasters(),
+                             ids=lambda f: type(f).__name__)
+    def test_shape_contract(self, forecaster, seasonal):
+        prediction = forecaster.forecast(seasonal, 7)
+        assert prediction.shape == (7, seasonal.n_channels)
+        assert np.isfinite(prediction).all()
+
+    @pytest.mark.parametrize("forecaster", all_point_forecasters(),
+                             ids=lambda f: type(f).__name__)
+    def test_predict_before_fit(self, forecaster):
+        with pytest.raises(RuntimeError):
+            forecaster.predict(3)
+
+    def test_incomplete_series_rejected(self):
+        gappy = TimeSeries([1.0, np.nan, 3.0, 4.0])
+        with pytest.raises(ValueError):
+            NaiveForecaster().fit(gappy)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            NaiveForecaster().fit([1, 2, 3])
+
+    def test_invalid_horizon(self, seasonal):
+        model = NaiveForecaster().fit(seasonal)
+        with pytest.raises(ValueError):
+            model.predict(0)
+
+
+class TestClassical:
+    def test_naive_repeats_last(self):
+        series = TimeSeries([1.0, 2.0, 7.0])
+        assert np.allclose(NaiveForecaster().forecast(series, 3), 7.0)
+
+    def test_seasonal_naive_cycles(self):
+        series = TimeSeries(np.tile([1.0, 2.0, 3.0], 4))
+        prediction = SeasonalNaiveForecaster(3).forecast(series, 6)
+        assert np.allclose(prediction[:, 0], [1, 2, 3, 1, 2, 3])
+
+    def test_seasonal_naive_needs_period(self):
+        with pytest.raises(ValueError):
+            SeasonalNaiveForecaster(10).fit(TimeSeries([1.0, 2.0]))
+
+    def test_drift_extends_line(self):
+        series = TimeSeries(np.arange(10.0))
+        prediction = DriftForecaster().forecast(series, 3)
+        assert np.allclose(prediction[:, 0], [10, 11, 12])
+
+    def test_ses_flat_forecast(self, seasonal):
+        prediction = SimpleExponentialSmoothing().forecast(seasonal, 5)
+        assert np.allclose(prediction, prediction[0])
+
+    def test_holt_captures_trend(self):
+        series = TimeSeries(2.0 * np.arange(50.0) + 1.0)
+        prediction = HoltForecaster(alpha=0.8, beta=0.5).forecast(series, 4)
+        expected = 2.0 * np.arange(50, 54) + 1.0
+        assert np.allclose(prediction[:, 0], expected, atol=0.5)
+
+    def test_holt_winters_beats_naive_on_seasonal(self, seasonal):
+        train, test = seasonal.split(0.9)
+        hw = HoltWintersForecaster(96).forecast(train, len(test))
+        naive = NaiveForecaster().forecast(train, len(test))
+        assert mae(test.values, hw) < mae(test.values, naive)
+
+    def test_holt_winters_needs_two_periods(self):
+        with pytest.raises(ValueError):
+            HoltWintersForecaster(96).fit(TimeSeries(np.zeros(100)))
+
+
+class TestRidge:
+    def test_exact_on_linear_data(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 3))
+        true_w = np.array([[1.0], [-2.0], [0.5]])
+        y = X @ true_w + 3.0
+        w, b = ridge_fit(X, y, 1e-8)
+        assert np.allclose(w, true_w, atol=1e-5)
+        assert b[0] == pytest.approx(3.0, abs=1e-5)
+
+    def test_regularization_shrinks(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 3))
+        y = X @ np.array([[5.0], [5.0], [5.0]])
+        w_small, _ = ridge_fit(X, y, 0.01)
+        w_large, _ = ridge_fit(X, y, 1000.0)
+        assert np.linalg.norm(w_large) < np.linalg.norm(w_small)
+
+
+class TestAR:
+    def test_learns_ar1(self):
+        rng = np.random.default_rng(3)
+        values = np.zeros(500)
+        for t in range(1, 500):
+            values[t] = 0.8 * values[t - 1] + rng.normal(0, 0.1)
+        model = ARForecaster(n_lags=1, alpha=1e-6).fit(TimeSeries(values))
+        assert model._weights[0, 0] == pytest.approx(0.8, abs=0.05)
+
+    def test_seasonal_lag_improves(self, seasonal):
+        train, test = seasonal.split(0.9)
+        plain = ARForecaster(n_lags=8).forecast(train, len(test))
+        with_season = ARForecaster(n_lags=8, seasonal_period=96).forecast(
+            train, len(test))
+        assert mae(test.values, with_season) < mae(test.values, plain)
+
+    def test_too_short_series(self):
+        with pytest.raises(ValueError):
+            ARForecaster(n_lags=10).fit(TimeSeries(np.zeros(10)))
+
+    def test_n_parameters(self, seasonal):
+        model = ARForecaster(n_lags=4).fit(seasonal)
+        assert model.n_parameters == 4 * 1 + 1
+
+    def test_predict_from_matches_predict_on_training_history(self,
+                                                              seasonal):
+        model = ARForecaster(n_lags=8).fit(seasonal)
+        direct = model.predict(5)
+        replay = model.predict_from(seasonal.values, 5)
+        assert np.allclose(direct, replay)
+
+    def test_predict_from_requires_context(self, seasonal):
+        model = ARForecaster(n_lags=8).fit(seasonal)
+        with pytest.raises(ValueError):
+            model.predict_from(np.zeros((3, 1)), 2)
+
+
+class TestVARAndExogenous:
+    def test_var_uses_cross_channel_signal(self):
+        rng = np.random.default_rng(4)
+        n = 600
+        driver = rng.normal(size=n).cumsum() * 0.1
+        follower = np.zeros(n)
+        follower[1:] = driver[:-1]  # channel 1 is channel 0 lagged
+        values = np.column_stack([driver, follower])
+        values += rng.normal(0, 0.01, values.shape)
+        series = TimeSeries(values)
+        train, test = series.split(0.95)
+        var = VARForecaster(n_lags=2).forecast(train, 1)
+        assert var[0, 1] == pytest.approx(train.values[-1, 0], abs=0.1)
+
+    def test_exogenous_known_future_beats_frozen(self):
+        rng = np.random.default_rng(5)
+        n = 600
+        covariate = np.sin(np.arange(n) / 5.0)
+        target = 2.0 * covariate + rng.normal(0, 0.05, n)
+        series = TimeSeries(np.column_stack([target, covariate]))
+        train, test = series.split(0.9)
+        horizon = len(test)
+        model = ExogenousForecaster([0], n_lags=4).fit(train)
+        with_future = model.predict(horizon,
+                                    future_covariates=test.values)
+        frozen = model.predict(horizon)
+        truth = test.values[:, :1]
+        assert mae(truth, with_future) < mae(truth, frozen)
+
+    def test_exogenous_validation(self):
+        with pytest.raises(ValueError):
+            ExogenousForecaster([])
+        series = TimeSeries(np.random.default_rng(6).normal(size=(50, 2)))
+        with pytest.raises(ValueError):
+            ExogenousForecaster([5]).fit(series)
+        model = ExogenousForecaster([0]).fit(series)
+        with pytest.raises(ValueError):
+            model.predict(3, future_covariates=np.zeros((2, 2)))
+
+
+class TestGraph:
+    @pytest.fixture(scope="class")
+    def traffic(self):
+        return traffic_speed_dataset(n_sensors=10, n_days=7,
+                                     rng=np.random.default_rng(7))
+
+    def test_fit_predict_shapes(self, traffic):
+        train, test = traffic.split(0.9)
+        model = GraphFilterForecaster(n_lags=4, n_hops=1).fit(train)
+        prediction = model.predict(len(test))
+        assert prediction.shape == (len(test), traffic.n_sensors)
+
+    def test_graph_hops_help_on_correlated_data(self, traffic):
+        train, test = traffic.split(0.9)
+        no_graph = GraphFilterForecaster(n_lags=6, n_hops=0).fit(train)
+        with_graph = GraphFilterForecaster(n_lags=6, n_hops=2).fit(train)
+        error_no = mae(test.values, no_graph.predict(len(test)))
+        error_with = mae(test.values, with_graph.predict(len(test)))
+        assert error_with <= error_no * 1.05  # never much worse
+
+    def test_predictions_bounded(self, traffic):
+        train, _ = traffic.split(0.9)
+        model = GraphFilterForecaster(n_lags=6, n_hops=2).fit(train)
+        prediction = model.predict(200)
+        assert np.all(np.isfinite(prediction))
+        assert prediction.max() < 2 * train.values.max()
+
+    def test_type_and_completeness_checks(self, traffic):
+        with pytest.raises(TypeError):
+            GraphFilterForecaster().fit(traffic.as_timeseries())
+        rng = np.random.default_rng(8)
+        gappy = traffic.corrupt(0.1, rng)
+        with pytest.raises(ValueError):
+            GraphFilterForecaster().fit(gappy)
+
+
+class TestProbabilistic:
+    def test_gaussian_distributions_widen_with_horizon(self, seasonal):
+        model = GaussianForecaster(n_lags=12,
+                                   seasonal_period=96).fit(seasonal)
+        distributions = model.predict_distribution(6)
+        stds = [d.std() for d in distributions]
+        assert stds[-1] > stds[0]
+
+    def test_gaussian_point_matches_ar(self, seasonal):
+        model = GaussianForecaster(n_lags=12).fit(seasonal)
+        points = model.predict(5)
+        distributions = model.predict_distribution(5)
+        for step in range(5):
+            assert distributions[step].mean() == pytest.approx(
+                points[step, 0], abs=3 * distributions[step].width)
+
+    def test_sample_paths_shape(self, seasonal):
+        model = GaussianForecaster(n_lags=12).fit(seasonal)
+        paths = model.sample_paths(10, 50, rng=np.random.default_rng(9))
+        assert paths.shape == (50, 10)
+
+    def test_quantile_bands_ordered(self, seasonal):
+        model = QuantileForecaster((0.1, 0.5, 0.9), n_lags=12,
+                                   rng=np.random.default_rng(10))
+        model.fit(seasonal)
+        bands = model.predict_quantiles(8)
+        assert np.all(np.diff(bands, axis=1) >= 0)
+
+    def test_quantile_coverage_reasonable(self, seasonal):
+        model = QuantileForecaster((0.1, 0.5, 0.9), n_lags=24,
+                                   rng=np.random.default_rng(11))
+        model.fit(seasonal)
+        coverage = model.coverage(seasonal)
+        assert 0.6 < coverage <= 1.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            QuantileForecaster(())
+        with pytest.raises(ValueError):
+            QuantileForecaster((0.0, 0.5))
+
+
+class TestEnsemble:
+    def test_beats_worst_member(self, seasonal):
+        train, test = seasonal.split(0.9)
+        members = [NaiveForecaster(), SeasonalNaiveForecaster(96),
+                   ARForecaster(n_lags=8, seasonal_period=96)]
+        ensemble = EnsembleForecaster(members)
+        prediction = ensemble.forecast(train, len(test))
+        errors = [
+            mae(test.values, m.forecast(train, len(test)))
+            for m in [NaiveForecaster(), SeasonalNaiveForecaster(96),
+                      ARForecaster(n_lags=8, seasonal_period=96)]
+        ]
+        assert mae(test.values, prediction) < max(errors)
+
+    def test_weights_favor_good_members(self, seasonal):
+        ensemble = EnsembleForecaster(
+            [NaiveForecaster(), SeasonalNaiveForecaster(96)],
+            weighting="inverse_error")
+        ensemble.fit(seasonal)
+        # Seasonal-naive is far better on seasonal data.
+        assert ensemble.weights_[1] > ensemble.weights_[0]
+
+    def test_unusable_member_excluded(self, seasonal):
+        short = seasonal.slice(0, 100)  # too short for HW(96)
+        ensemble = EnsembleForecaster(
+            [NaiveForecaster(), HoltWintersForecaster(96)])
+        ensemble.fit(short)
+        assert ensemble.weights_[1] == 0.0
+        assert ensemble.predict(3).shape == (3, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnsembleForecaster([])
+        with pytest.raises(ValueError):
+            EnsembleForecaster([NaiveForecaster()], weighting="bogus")
+
+
+class TestRollingOrigin:
+    def test_scores_per_origin(self, seasonal):
+        result = rolling_origin_evaluation(
+            lambda: NaiveForecaster(), seasonal, horizon=10, n_origins=4)
+        assert len(result["per_origin"]) == 4
+        assert result["score"] == pytest.approx(
+            np.mean(result["per_origin"]))
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            rolling_origin_evaluation(
+                lambda: NaiveForecaster(), TimeSeries(np.zeros(20)),
+                horizon=15, n_origins=3)
+
+    def test_better_model_scores_better(self, seasonal):
+        naive = rolling_origin_evaluation(
+            lambda: NaiveForecaster(), seasonal, horizon=24, n_origins=4)
+        seasonal_model = rolling_origin_evaluation(
+            lambda: SeasonalNaiveForecaster(96), seasonal, horizon=24,
+            n_origins=4)
+        assert seasonal_model["score"] < naive["score"]
+
+
+class TestDirectForecaster:
+    def test_shape_contract(self, seasonal):
+        from repro.analytics.forecasting import DirectForecaster
+
+        model = DirectForecaster(n_lags=8, horizon=12).fit(seasonal)
+        prediction = model.predict(12)
+        assert prediction.shape == (12, seasonal.n_channels)
+        assert np.isfinite(prediction).all()
+
+    def test_partial_horizon_allowed(self, seasonal):
+        from repro.analytics.forecasting import DirectForecaster
+
+        model = DirectForecaster(n_lags=8, horizon=12).fit(seasonal)
+        assert model.predict(5).shape == (5, 1)
+
+    def test_beyond_trained_horizon_rejected(self, seasonal):
+        from repro.analytics.forecasting import DirectForecaster
+
+        model = DirectForecaster(n_lags=8, horizon=12).fit(seasonal)
+        with pytest.raises(ValueError):
+            model.predict(13)
+
+    def test_lead_one_matches_recursive_first_step(self, seasonal):
+        """At lead 1 the direct and recursive strategies train the same
+        regression (same features, same targets)."""
+        from repro.analytics.forecasting import DirectForecaster
+
+        direct = DirectForecaster(n_lags=8, horizon=4).fit(seasonal)
+        recursive = ARForecaster(n_lags=8).fit(seasonal)
+        assert direct.predict(1)[0, 0] == pytest.approx(
+            recursive.predict(1)[0, 0], abs=0.1)
+
+    def test_beats_recursive_on_long_unanchored_horizon(self, seasonal):
+        from repro.analytics.forecasting import DirectForecaster
+
+        train, test = seasonal.split(0.9)
+        horizon = len(test)
+        direct = DirectForecaster(n_lags=12, horizon=horizon).fit(train)
+        recursive = ARForecaster(n_lags=12).fit(train)
+        assert mae(test.values, direct.predict(horizon)) < \
+            mae(test.values, recursive.predict(horizon)) * 1.05
+
+    def test_too_short_series(self):
+        from repro.analytics.forecasting import DirectForecaster
+
+        with pytest.raises(ValueError):
+            DirectForecaster(n_lags=8, horizon=50).fit(
+                TimeSeries(np.zeros(40)))
+
+    def test_n_parameters(self, seasonal):
+        from repro.analytics.forecasting import DirectForecaster
+
+        model = DirectForecaster(n_lags=4, horizon=3).fit(seasonal)
+        assert model.n_parameters == 3 * (4 + 1)

@@ -1,0 +1,93 @@
+"""Tests for repro.datatypes.image_sequence."""
+
+import numpy as np
+import pytest
+
+from repro import ImageSequence
+
+
+def make_sequence(t=6, n=4, m=4, c=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return ImageSequence(rng.normal(size=(t, n, m, c)))
+
+
+class TestConstruction:
+    def test_channel_dim_added(self):
+        seq = ImageSequence(np.zeros((3, 4, 5)))
+        assert seq.frames.shape == (3, 4, 5, 1)
+        assert seq.n_channels == 1
+
+    def test_shape_accessors(self):
+        seq = make_sequence(t=6, n=4, m=5, c=2)
+        assert len(seq) == 6
+        assert seq.grid_shape == (4, 5)
+        assert seq.n_channels == 2
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            ImageSequence(np.zeros((3, 4)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ImageSequence(np.zeros((0, 4, 4)))
+
+    def test_rejects_bad_timestamps(self):
+        with pytest.raises(ValueError):
+            ImageSequence(np.zeros((3, 2, 2)), timestamps=[0.0, 0.0, 1.0])
+
+
+class TestAccessors:
+    def test_frame_copy(self):
+        seq = make_sequence()
+        frame = seq.frame(0)
+        frame[:] = 99.0
+        assert not np.allclose(seq.frame(0), 99.0)
+
+    def test_cell_series_matches_frames(self):
+        seq = make_sequence()
+        series = seq.cell_series(1, 2, channel=1)
+        assert np.allclose(series.values[:, 0], seq.frames[:, 1, 2, 1])
+
+    def test_cell_series_out_of_grid(self):
+        with pytest.raises(IndexError):
+            make_sequence(n=4, m=4).cell_series(4, 0)
+
+    def test_cell_series_bad_channel(self):
+        with pytest.raises(IndexError):
+            make_sequence(c=2).cell_series(0, 0, channel=2)
+
+
+class TestConversions:
+    def test_to_timeseries_layout(self):
+        seq = make_sequence(t=5, n=3, m=4)
+        series = seq.to_timeseries()
+        assert series.values.shape == (5, 12)
+        # cell (r, c) -> column r*M + c
+        assert np.allclose(series.values[:, 1 * 4 + 2],
+                           seq.frames[:, 1, 2, 0])
+
+    def test_spatial_mean(self):
+        frames = np.ones((4, 3, 3, 1)) * np.arange(4)[:, None, None, None]
+        seq = ImageSequence(frames)
+        assert np.allclose(seq.spatial_mean().values[:, 0], [0, 1, 2, 3])
+
+    def test_downsample_averages_blocks(self):
+        frames = np.zeros((2, 4, 4))
+        frames[:, :2, :2] = 4.0
+        seq = ImageSequence(frames).downsample(2)
+        assert seq.grid_shape == (2, 2)
+        assert seq.frames[0, 0, 0, 0] == pytest.approx(4.0)
+        assert seq.frames[0, 1, 1, 0] == pytest.approx(0.0)
+
+    def test_downsample_preserves_global_mean(self):
+        seq = make_sequence(t=3, n=4, m=4, c=1)
+        pooled = seq.downsample(2)
+        assert pooled.frames.mean() == pytest.approx(seq.frames.mean())
+
+    def test_downsample_indivisible(self):
+        with pytest.raises(ValueError):
+            make_sequence(n=4, m=5).downsample(2)
+
+    def test_downsample_factor_one_identity(self):
+        seq = make_sequence()
+        assert np.allclose(seq.downsample(1).frames, seq.frames)

@@ -1,0 +1,169 @@
+"""Tests for repro.analytics.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.metrics import (
+    best_f1,
+    crps_from_samples,
+    mae,
+    mape,
+    pinball_loss,
+    point_adjusted_scores,
+    pr_auc,
+    precision_recall_f1,
+    rmse,
+    roc_auc,
+    smape,
+)
+
+
+class TestRegressionMetrics:
+    def test_mae_known(self):
+        assert mae([1, 2, 3], [2, 2, 5]) == pytest.approx(1.0)
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        truth = rng.normal(size=50)
+        predicted = truth + rng.normal(size=50)
+        assert rmse(truth, predicted) >= mae(truth, predicted)
+
+    def test_perfect_prediction(self):
+        values = np.arange(10.0)
+        assert mae(values, values) == 0.0
+        assert rmse(values, values) == 0.0
+        assert mape(values + 1, values + 1) == 0.0
+        assert smape(values, values) == 0.0
+
+    def test_mape_percent(self):
+        assert mape([100.0], [90.0]) == pytest.approx(10.0)
+
+    def test_smape_symmetric(self):
+        assert smape([100.0], [90.0]) == pytest.approx(
+            smape([90.0], [100.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mae([1, 2], [1, 2, 3])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mae([], [])
+
+    def test_pinball_asymmetry(self):
+        # At q=0.9, under-prediction is 9x as costly as over-prediction.
+        under = pinball_loss([10.0], [0.0], 0.9)
+        over = pinball_loss([0.0], [10.0], 0.9)
+        assert under == pytest.approx(9.0)
+        assert over == pytest.approx(1.0)
+
+    def test_pinball_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            pinball_loss([1.0], [1.0], 1.0)
+
+    def test_crps_sharp_and_correct_beats_diffuse(self):
+        rng = np.random.default_rng(1)
+        truth = np.zeros(200)
+        sharp = rng.normal(0, 0.1, size=(200, 100))
+        diffuse = rng.normal(0, 2.0, size=(200, 100))
+        assert crps_from_samples(truth, sharp) < crps_from_samples(
+            truth, diffuse)
+
+    def test_crps_matches_mae_for_point_samples(self):
+        truth = np.array([1.0, 2.0, 3.0])
+        samples = np.array([[2.0], [2.0], [2.0]])
+        assert crps_from_samples(truth, samples) == pytest.approx(
+            mae(truth, [2.0, 2.0, 2.0]))
+
+    def test_crps_row_mismatch(self):
+        with pytest.raises(ValueError):
+            crps_from_samples([1.0, 2.0], np.zeros((3, 10)))
+
+
+class TestDetectionMetrics:
+    def test_precision_recall_f1_known(self):
+        labels = [True, True, False, False]
+        predictions = [True, False, True, False]
+        precision, recall, f1 = precision_recall_f1(labels, predictions)
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.5)
+        assert f1 == pytest.approx(0.5)
+
+    def test_no_predictions(self):
+        precision, recall, f1 = precision_recall_f1(
+            [True, False], [False, False])
+        assert (precision, recall, f1) == (0.0, 0.0, 0.0)
+
+    def test_best_f1_perfect_scores(self):
+        labels = np.array([0, 0, 1, 1], dtype=bool)
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        f1, threshold = best_f1(labels, scores)
+        assert f1 == pytest.approx(1.0)
+        assert threshold >= 0.8
+
+    def test_best_f1_beats_any_fixed_threshold(self):
+        rng = np.random.default_rng(2)
+        labels = rng.random(200) < 0.1
+        scores = labels * 1.0 + rng.normal(0, 0.5, 200)
+        best, _ = best_f1(labels, scores)
+        for threshold in np.linspace(scores.min(), scores.max(), 20):
+            _, _, f1 = precision_recall_f1(labels, scores > threshold)
+            assert best >= f1 - 1e-9
+
+    def test_roc_auc_perfect_and_inverted(self):
+        labels = np.array([0, 0, 1, 1], dtype=bool)
+        assert roc_auc(labels, [0.1, 0.2, 0.8, 0.9]) == 1.0
+        assert roc_auc(labels, [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_roc_auc_random_is_half(self):
+        rng = np.random.default_rng(3)
+        labels = rng.random(3000) < 0.3
+        scores = rng.random(3000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.04)
+
+    def test_roc_auc_ties(self):
+        labels = np.array([0, 1, 0, 1], dtype=bool)
+        assert roc_auc(labels, [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_roc_auc_one_class(self):
+        with pytest.raises(ValueError):
+            roc_auc([True, True], [0.1, 0.2])
+
+    def test_pr_auc_perfect(self):
+        labels = np.array([0, 0, 1, 1], dtype=bool)
+        assert pr_auc(labels, [0.1, 0.2, 0.8, 0.9]) == pytest.approx(1.0)
+
+    def test_pr_auc_requires_positive(self):
+        with pytest.raises(ValueError):
+            pr_auc([False, False], [0.1, 0.2])
+
+    def test_point_adjustment_spreads_segment_max(self):
+        labels = np.array([0, 1, 1, 1, 0], dtype=bool)
+        scores = np.array([0.1, 0.2, 0.9, 0.3, 0.1])
+        adjusted = point_adjusted_scores(labels, scores)
+        assert np.allclose(adjusted, [0.1, 0.9, 0.9, 0.9, 0.1])
+
+    def test_point_adjustment_leaves_normals(self):
+        labels = np.zeros(5, dtype=bool)
+        scores = np.arange(5.0)
+        assert np.allclose(point_adjusted_scores(labels, scores), scores)
+
+
+@settings(deadline=None, max_examples=30)
+@given(seed=st.integers(0, 500))
+def test_roc_auc_is_ranking_probability(seed):
+    """AUC equals the probability a random positive outranks a random
+    negative (checked exhaustively on small samples)."""
+    rng = np.random.default_rng(seed)
+    labels = rng.random(30) < 0.4
+    if not labels.any() or labels.all():
+        return
+    scores = rng.normal(size=30)
+    positives = scores[labels]
+    negatives = scores[~labels]
+    wins = sum((p > n) + 0.5 * (p == n)
+               for p in positives for n in negatives)
+    expected = wins / (len(positives) * len(negatives))
+    assert roc_auc(labels, scores) == pytest.approx(expected)

@@ -1,0 +1,127 @@
+"""Tests for the shared NumPy MLP substrate."""
+
+import numpy as np
+import pytest
+
+from repro.analytics._mlp import Mlp
+
+
+class TestConstruction:
+    def test_layer_validation(self):
+        with pytest.raises(ValueError):
+            Mlp([5])
+        with pytest.raises(ValueError):
+            Mlp([5, 0, 2])
+
+    def test_parameter_count(self):
+        network = Mlp([4, 8, 2])
+        assert network.n_parameters == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_deterministic_init(self):
+        a = Mlp([4, 6, 2], rng=np.random.default_rng(0))
+        b = Mlp([4, 6, 2], rng=np.random.default_rng(0))
+        for wa, wb in zip(a.weights, b.weights):
+            assert np.array_equal(wa, wb)
+
+
+class TestForward:
+    def test_output_shape(self):
+        network = Mlp([3, 5, 2], rng=np.random.default_rng(1))
+        output = network.predict(np.zeros((7, 3)))
+        assert output.shape == (7, 2)
+
+    def test_linear_output_layer(self):
+        """The last layer has no activation: outputs are unbounded."""
+        network = Mlp([2, 4, 1], rng=np.random.default_rng(2))
+        network.weights[-1] *= 100.0
+        output = network.predict(np.ones((1, 2)))
+        assert abs(output[0, 0]) > 1.0  # tanh would cap at 1
+
+    def test_hidden_activations_bounded(self):
+        network = Mlp([2, 4, 1], rng=np.random.default_rng(3))
+        _, activations = network.forward(
+            np.random.default_rng(4).normal(size=(10, 2)) * 100)
+        assert np.all(np.abs(activations[1]) <= 1.0)
+
+
+class TestTraining:
+    def test_learns_linear_map(self):
+        rng = np.random.default_rng(5)
+        inputs = rng.normal(size=(300, 3))
+        targets = inputs @ np.array([[1.0], [-2.0], [0.5]])
+        network = Mlp([3, 16, 1], learning_rate=0.01, n_epochs=150,
+                      rng=np.random.default_rng(6))
+        network.fit(inputs, targets)
+        error = np.abs(network.predict(inputs) - targets).mean()
+        assert error < 0.2
+
+    def test_learns_nonlinear_map(self):
+        rng = np.random.default_rng(7)
+        inputs = rng.uniform(-2, 2, size=(400, 1))
+        targets = np.sin(2 * inputs)
+        network = Mlp([1, 24, 1], learning_rate=0.01, n_epochs=300,
+                      rng=np.random.default_rng(8))
+        network.fit(inputs, targets)
+        error = np.abs(network.predict(inputs) - targets).mean()
+        assert error < 0.15
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(9)
+        inputs = rng.normal(size=(100, 4))
+        network = Mlp([4, 8, 4], n_epochs=30,
+                      rng=np.random.default_rng(10))
+        network.fit(inputs, inputs)
+        assert network.training_losses[-1] < network.training_losses[0]
+
+    def test_zero_weight_samples_ignored(self):
+        """A sample with weight 0 must not influence the fit."""
+        rng = np.random.default_rng(11)
+        inputs = rng.normal(size=(100, 2))
+        targets = inputs[:, :1] * 2.0
+        poisoned_inputs = np.vstack([inputs, [[0.0, 0.0]]])
+        poisoned_targets = np.vstack([targets, [[1e6]]])
+        weights = np.concatenate([np.ones(100), [0.0]])
+        network = Mlp([2, 8, 1], n_epochs=80,
+                      rng=np.random.default_rng(12))
+        network.fit(poisoned_inputs, poisoned_targets,
+                    sample_weight=weights)
+        error = np.abs(network.predict(inputs) - targets).mean()
+        assert error < 0.3
+
+    def test_validation(self):
+        network = Mlp([2, 2])
+        with pytest.raises(ValueError):
+            network.fit(np.zeros((5, 2)), np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            network.fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            network.fit(np.zeros((5, 2)), np.zeros((5, 2)),
+                        sample_weight=-np.ones(5))
+
+    def test_gradient_check(self):
+        """Analytic gradients match finite differences."""
+        rng = np.random.default_rng(13)
+        network = Mlp([3, 4, 2], rng=np.random.default_rng(14))
+        inputs = rng.normal(size=(5, 3))
+        targets = rng.normal(size=(5, 2))
+
+        def loss():
+            output = network.predict(inputs)
+            return float(((output - targets) ** 2).sum())
+
+        output, activations = network.forward(inputs)
+        gradient = 2.0 * (output - targets)
+        grads_w, _ = network._backward(activations, gradient)
+
+        epsilon = 1e-6
+        for layer in range(len(network.weights)):
+            i, j = 0, 0
+            original = network.weights[layer][i, j]
+            network.weights[layer][i, j] = original + epsilon
+            upper = loss()
+            network.weights[layer][i, j] = original - epsilon
+            lower = loss()
+            network.weights[layer][i, j] = original
+            numeric = (upper - lower) / (2 * epsilon)
+            assert grads_w[layer][i, j] == pytest.approx(numeric,
+                                                         rel=1e-3)

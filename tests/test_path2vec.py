@@ -1,0 +1,121 @@
+"""Tests for road-network path embeddings."""
+
+import numpy as np
+import pytest
+
+from repro import RoadNetwork
+from repro.analytics.representation import PathEncoder
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    network = RoadNetwork.grid(6, 6)
+    encoder = PathEncoder(network, n_components=16,
+                          rng=np.random.default_rng(0))
+    encoder.fit(n_walks=250, walk_length=10)
+    return network, encoder
+
+
+def cosine(a, b):
+    return float(a @ b / max(np.linalg.norm(a) * np.linalg.norm(b),
+                             1e-12))
+
+
+class TestPathEncoder:
+    def test_embedding_shapes(self, encoder):
+        network, enc = encoder
+        assert enc.edge_embedding((0, 0), (0, 1)).shape == (16,)
+        path = network.shortest_path((0, 0), (3, 3))
+        assert enc.path_embedding(path).shape == (16,)
+
+    def test_overlapping_paths_more_similar(self, encoder):
+        """The representation-learning sanity property: paths sharing
+        most of their edges embed close; disjoint paths do not."""
+        network, enc = encoder
+        a = network.shortest_path((0, 0), (0, 5))
+        b = network.shortest_path((0, 0), (1, 5))
+        c = network.shortest_path((5, 0), (5, 5))
+        assert enc.similarity(a, b) > enc.similarity(a, c) + 0.3
+
+    def test_adjacent_edges_more_similar_than_distant(self, encoder):
+        _, enc = encoder
+        near = cosine(enc.edge_embedding((0, 0), (0, 1)),
+                      enc.edge_embedding((0, 1), (0, 2)))
+        far = cosine(enc.edge_embedding((0, 0), (0, 1)),
+                     enc.edge_embedding((5, 4), (5, 5)))
+        assert near > far
+
+    def test_self_similarity_is_one(self, encoder):
+        network, enc = encoder
+        path = network.shortest_path((0, 0), (2, 2))
+        assert enc.similarity(path, path) == pytest.approx(1.0)
+
+    def test_fit_from_explicit_paths(self):
+        network = RoadNetwork.grid(4, 4)
+        paths = [network.shortest_path((0, 0), (3, 3)),
+                 network.shortest_path((3, 0), (0, 3))]
+        encoder = PathEncoder(network, n_components=8, n_epochs=2,
+                              rng=np.random.default_rng(1))
+        encoder.fit(paths * 10)
+        assert encoder.path_embedding(paths[0]).shape == (8,)
+
+    def test_requires_fit(self):
+        network = RoadNetwork.grid(3, 3)
+        encoder = PathEncoder(network)
+        with pytest.raises(RuntimeError):
+            encoder.edge_embedding((0, 0), (0, 1))
+
+    def test_rejects_empty_corpus(self):
+        network = RoadNetwork.grid(3, 3)
+        encoder = PathEncoder(network, rng=np.random.default_rng(2))
+        with pytest.raises(ValueError):
+            encoder.fit([])
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            PathEncoder("not a network")
+
+    def test_random_walks_stay_on_network(self, encoder):
+        network, enc = encoder
+        walks = enc.random_walks(n_walks=10, walk_length=5)
+        for walk in walks:
+            network.path_edges(walk)  # raises if any hop is invalid
+
+
+class TestDownstreamTravelTime:
+    def test_embeddings_predict_path_travel_time(self):
+        """LightPath's downstream task: a linear model on frozen path
+        embeddings estimates path travel times far better than the
+        embedding-free mean."""
+        from repro.datasets import TrafficSimulator
+        from repro.analytics.forecasting.linear import ridge_fit
+
+        network = RoadNetwork.grid(6, 6)
+        simulator = TrafficSimulator(network,
+                                     rng=np.random.default_rng(3))
+        encoder = PathEncoder(network, n_components=16,
+                              rng=np.random.default_rng(4))
+        encoder.fit(n_walks=250, walk_length=10)
+
+        rng = np.random.default_rng(5)
+        nodes = network.nodes()
+        paths, times = [], []
+        while len(paths) < 80:
+            a, b = rng.choice(len(nodes), 2, replace=False)
+            a, b = nodes[int(a)], nodes[int(b)]
+            path = network.shortest_path(a, b)
+            if len(path) < 3:
+                continue
+            paths.append(path)
+            # Historical average travel time: the downstream label.
+            times.append(simulator.sample_path_times(
+                path, 20, departure_minute=480, rng=rng).mean())
+        X = np.stack([
+            encoder.path_embedding(p, pooling="sum") for p in paths])
+        y = np.asarray(times)
+        train, test = slice(0, 60), slice(60, 80)
+        weights, intercept = ridge_fit(X[train], y[train], 1.0)
+        predicted = (X[test] @ weights + intercept)[:, 0]
+        model_error = np.abs(predicted - y[test]).mean()
+        mean_error = np.abs(y[train].mean() - y[test]).mean()
+        assert model_error < 0.6 * mean_error

@@ -1,0 +1,193 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each property is an invariant DESIGN.md calls out for a core data
+structure or algorithm, checked on randomized inputs rather than
+hand-picked examples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RoadNetwork, TimeSeries
+from repro.analytics.classification import dtw_distance
+from repro.analytics.metrics import mae, rmse, smape
+from repro.governance.uncertainty import Histogram
+from repro.decision import (
+    RiskAverseUtility,
+    RiskNeutralUtility,
+    certainty_equivalent,
+    dominance_prune,
+    first_order_dominates,
+    pareto_front,
+)
+from repro.decision.pareto import dominates
+
+
+@settings(deadline=None, max_examples=30)
+@given(seed=st.integers(0, 300), shift=st.floats(0.1, 10.0))
+def test_utilities_respect_fsd(seed, shift):
+    """Any decreasing utility prefers an FSD-dominant cost: utilities
+    and dominance must never disagree."""
+    rng = np.random.default_rng(seed)
+    base = Histogram.from_samples(rng.gamma(3.0, 2.0, 300), n_bins=25)
+    worse = base.shift(shift)
+    for utility in (RiskNeutralUtility(),
+                    RiskAverseUtility(aversion=1.5, scale=10.0)):
+        assert utility.expected(base) > utility.expected(worse)
+
+
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(0, 300))
+def test_certainty_equivalent_within_support(seed):
+    """The certainty equivalent always lies inside the cost support."""
+    rng = np.random.default_rng(seed)
+    cost = Histogram.from_samples(rng.normal(10, 3, 300), n_bins=25)
+    for utility in (RiskNeutralUtility(),
+                    RiskAverseUtility(aversion=2.0, scale=10.0)):
+        equivalent = certainty_equivalent(cost, utility)
+        assert cost.min() - 1e-6 <= equivalent <= cost.max() + 1e-6
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 200), n=st.integers(3, 15))
+def test_dominance_prune_keeps_minimum_mean(seed, n):
+    """The candidate with the smallest mean is never FSD-dominated
+    (nothing can have a CDF everywhere above it AND a smaller mean)."""
+    rng = np.random.default_rng(seed)
+    candidates = [
+        Histogram.from_samples(
+            rng.normal(rng.uniform(5, 15), rng.uniform(0.5, 3.0), 200),
+            n_bins=20)
+        for _ in range(n)
+    ]
+    survivors = dominance_prune(candidates)
+    best_mean = int(np.argmin([c.mean() for c in candidates]))
+    assert best_mean in survivors
+
+
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(0, 200), n=st.integers(2, 20),
+       k=st.integers(2, 4))
+def test_pareto_front_is_complete_and_sound(seed, n, k):
+    """Every non-front point is dominated by some front point, and no
+    front point is dominated at all."""
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(0, 1, size=(n, k))
+    front = pareto_front(costs)
+    front_set = set(front)
+    for index in range(n):
+        if index in front_set:
+            assert not any(
+                dominates(costs[j], costs[index]) for j in range(n))
+        else:
+            assert any(
+                dominates(costs[j], costs[index]) for j in front)
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 100), length=st.integers(5, 40))
+def test_dtw_lower_bounded_by_zero_and_symmetric(seed, length):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=length)
+    b = rng.normal(size=length + int(rng.integers(0, 5)))
+    d_ab = dtw_distance(a, b)
+    assert d_ab >= 0
+    assert d_ab == pytest.approx(dtw_distance(b, a))
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 100))
+def test_dtw_never_exceeds_euclidean(seed):
+    """For equal-length series, DTW is at most the Euclidean distance
+    (the diagonal path is always available)."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=25)
+    b = rng.normal(size=25)
+    euclidean = float(np.sqrt(((a - b) ** 2).sum()))
+    assert dtw_distance(a, b) <= euclidean + 1e-9
+
+
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(0, 200), n=st.integers(2, 50))
+def test_metric_inequalities(seed, n):
+    """RMSE >= MAE always; sMAPE bounded by 200."""
+    rng = np.random.default_rng(seed)
+    truth = rng.normal(size=n)
+    predicted = rng.normal(size=n)
+    assert rmse(truth, predicted) >= mae(truth, predicted) - 1e-12
+    assert 0.0 <= smape(truth, predicted) <= 200.0 + 1e-9
+
+
+@settings(deadline=None, max_examples=15)
+@given(rows=st.integers(2, 5), cols=st.integers(2, 5))
+def test_grid_shortest_paths_are_manhattan(rows, cols):
+    """On a unit grid, shortest-path length equals the Manhattan
+    distance for every node pair."""
+    network = RoadNetwork.grid(rows, cols)
+    rng = np.random.default_rng(rows * 10 + cols)
+    nodes = network.nodes()
+    for _ in range(5):
+        a, b = rng.choice(len(nodes), 2, replace=False)
+        a, b = nodes[int(a)], nodes[int(b)]
+        expected = abs(a[0] - b[0]) + abs(a[1] - b[1])
+        assert network.shortest_path_length(a, b) == pytest.approx(
+            expected)
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 100), n_bins=st.integers(2, 40))
+def test_histogram_quantile_cdf_galois(seed, n_bins):
+    """quantile(q) is the smallest support point with CDF >= q."""
+    rng = np.random.default_rng(seed)
+    histogram = Histogram.from_samples(rng.normal(0, 1, 200),
+                                       n_bins=n_bins)
+    for q in (0.05, 0.25, 0.5, 0.75, 0.95):
+        value = histogram.quantile(q)
+        assert histogram.cdf(value) >= q - 1e-9
+        smaller = value - histogram.width
+        if smaller >= histogram.min():
+            assert histogram.cdf(smaller) < q + 1e-9
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 100),
+       missing=st.floats(0.05, 0.4))
+def test_imputation_preserves_observed_everywhere(seed, missing):
+    """No imputer may alter an observed value (governance contract)."""
+    from repro.governance.imputation import (
+        KalmanImputer,
+        impute_linear,
+        impute_locf,
+        impute_seasonal,
+    )
+
+    rng = np.random.default_rng(seed)
+    clean = TimeSeries(rng.normal(size=(60, 2)))
+    gappy = clean.corrupt(missing, rng)
+    observed = gappy.mask
+    for method in (impute_locf, impute_linear,
+                   lambda s: impute_seasonal(s, 12),
+                   lambda s: KalmanImputer(3).impute(s)):
+        filled = method(gappy)
+        assert np.allclose(filled.values[observed],
+                           gappy.values[observed])
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 100), length=st.integers(10, 60))
+def test_generator_output_within_history_envelope(seed, length):
+    """Bootstrap scenarios cannot wander far outside the history's
+    value range (they are stitched from it)."""
+    from repro.analytics.generative import BlockBootstrapGenerator
+
+    rng = np.random.default_rng(seed)
+    history = TimeSeries(rng.normal(0, 1, 200))
+    generator = BlockBootstrapGenerator(
+        block_length=10, rng=np.random.default_rng(seed + 1))
+    generator.fit(history)
+    path = generator.sample(length)
+    spread = history.values.max() - history.values.min()
+    assert path.max() <= history.values.max() + spread
+    assert path.min() >= history.values.min() - spread

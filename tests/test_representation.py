@@ -1,0 +1,151 @@
+"""Tests for contrastive and masked representation learning."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.classification import waveform_classification_dataset
+from repro.analytics.representation import (
+    ContrastiveEncoder,
+    LinearProbe,
+    MaskedAutoencoderPretrainer,
+)
+
+DATASET_KWARGS = dict(phase_jitter=0.2)
+
+
+@pytest.fixture(scope="module")
+def pools():
+    unlabeled, _ = waveform_classification_dataset(
+        100, 96, 4, rng=np.random.default_rng(0), **DATASET_KWARGS)
+    Xtr, ytr = waveform_classification_dataset(
+        8, 96, 4, rng=np.random.default_rng(1), **DATASET_KWARGS)
+    Xte, yte = waveform_classification_dataset(
+        25, 96, 4, rng=np.random.default_rng(2), **DATASET_KWARGS)
+    return unlabeled, Xtr, ytr, Xte, yte
+
+
+class TestMaskedPretrainer:
+    def test_embedding_shape(self, pools):
+        unlabeled, Xtr, _, _, _ = pools
+        encoder = MaskedAutoencoderPretrainer(
+            n_components=10, n_epochs=20,
+            rng=np.random.default_rng(3)).fit(unlabeled)
+        assert encoder.transform(Xtr).shape == (len(Xtr), 10)
+        assert encoder.transform(Xtr[0]).shape == (1, 10)
+
+    def test_reconstruction_better_than_untrained_error(self, pools):
+        unlabeled, _, _, Xte, _ = pools
+        encoder = MaskedAutoencoderPretrainer(
+            n_components=12, n_epochs=80,
+            rng=np.random.default_rng(4)).fit(unlabeled)
+        # Standardized data has unit variance, so an uninformative
+        # reconstruction has MSE ~1.
+        assert encoder.reconstruction_error(Xte) < 0.6
+
+    def test_pretraining_beats_raw_few_label_probe(self, pools):
+        """E10's claim: pretrained representations reduce the labeled
+        data needed for a downstream task."""
+        unlabeled, _, _, Xte, yte = pools
+        Xtr, ytr = waveform_classification_dataset(
+            15, 96, 4, rng=np.random.default_rng(5), **DATASET_KWARGS)
+        encoder = MaskedAutoencoderPretrainer(
+            n_components=16, n_hidden=48, n_epochs=150,
+            rng=np.random.default_rng(6)).fit(unlabeled)
+        pretrained = LinearProbe().fit(
+            encoder.transform(Xtr), ytr).score(encoder.transform(Xte), yte)
+        raw = LinearProbe().fit(Xtr, ytr).score(Xte, yte)
+        assert pretrained > raw
+
+    def test_requires_fit(self, pools):
+        _, Xtr, _, _, _ = pools
+        with pytest.raises(RuntimeError):
+            MaskedAutoencoderPretrainer().transform(Xtr)
+
+    def test_rejects_1d_pool(self):
+        with pytest.raises(ValueError):
+            MaskedAutoencoderPretrainer().fit(np.zeros(10))
+
+
+class TestContrastiveEncoder:
+    def test_embedding_shape(self, pools):
+        unlabeled, Xtr, _, _, _ = pools
+        encoder = ContrastiveEncoder(
+            n_components=8, n_epochs=15,
+            rng=np.random.default_rng(7)).fit(unlabeled)
+        assert encoder.transform(Xtr).shape == (len(Xtr), 8)
+
+    def test_same_class_windows_closer_than_random(self, pools):
+        unlabeled, _, _, Xte, yte = pools
+        encoder = ContrastiveEncoder(
+            n_components=12, n_epochs=50,
+            rng=np.random.default_rng(8)).fit(unlabeled)
+        embeddings = encoder.transform(Xte)
+        embeddings /= np.maximum(
+            np.linalg.norm(embeddings, axis=1, keepdims=True), 1e-9)
+        similarity = embeddings @ embeddings.T
+        same = yte[:, None] == yte[None, :]
+        off_diagonal = ~np.eye(len(yte), dtype=bool)
+        within = similarity[same & off_diagonal].mean()
+        between = similarity[~same].mean()
+        assert within > between
+
+    def test_probe_above_chance(self, pools):
+        unlabeled, Xtr, ytr, Xte, yte = pools
+        encoder = ContrastiveEncoder(
+            n_components=12, n_epochs=50,
+            rng=np.random.default_rng(9)).fit(unlabeled)
+        accuracy = LinearProbe().fit(
+            encoder.transform(Xtr), ytr).score(encoder.transform(Xte), yte)
+        assert accuracy > 0.4  # 4 classes -> chance is 0.25
+
+    def test_curriculum_flag_changes_training(self, pools):
+        unlabeled, _, _, _, _ = pools
+        with_curriculum = ContrastiveEncoder(
+            n_epochs=10, curriculum=True,
+            rng=np.random.default_rng(10)).fit(unlabeled[:40])
+        without = ContrastiveEncoder(
+            n_epochs=10, curriculum=False,
+            rng=np.random.default_rng(10)).fit(unlabeled[:40])
+        assert not np.allclose(with_curriculum._weights, without._weights)
+
+    def test_minimum_pool(self):
+        with pytest.raises(ValueError):
+            ContrastiveEncoder().fit(np.zeros((2, 20)))
+
+    def test_weak_labels_change_training(self, pools):
+        """The weakly-supervised positive sampling of [31] produces a
+        genuinely different encoder."""
+        unlabeled, _, _, _, _ = pools
+        labels = np.arange(len(unlabeled)) % 4
+        plain = ContrastiveEncoder(
+            n_epochs=10, rng=np.random.default_rng(30)).fit(
+                unlabeled[:60])
+        weak = ContrastiveEncoder(
+            n_epochs=10, rng=np.random.default_rng(30)).fit(
+                unlabeled[:60], weak_labels=labels[:60])
+        assert not np.allclose(plain._weights, weak._weights)
+
+    def test_weak_labels_validation(self, pools):
+        unlabeled, _, _, _, _ = pools
+        with pytest.raises(ValueError):
+            ContrastiveEncoder().fit(unlabeled[:20],
+                                     weak_labels=np.zeros(5))
+
+
+class TestLinearProbe:
+    def test_perfect_on_separable(self):
+        rng = np.random.default_rng(11)
+        a = rng.normal(0, 0.2, size=(30, 4)) + np.array([3, 0, 0, 0])
+        b = rng.normal(0, 0.2, size=(30, 4)) - np.array([3, 0, 0, 0])
+        X = np.vstack([a, b])
+        y = np.array([0] * 30 + [1] * 30)
+        probe = LinearProbe().fit(X, y)
+        assert probe.score(X, y) == 1.0
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            LinearProbe().fit(np.zeros((10, 3)), np.zeros(10))
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearProbe().predict(np.zeros((3, 2)))

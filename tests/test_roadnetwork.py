@@ -1,0 +1,152 @@
+"""Tests for repro.datatypes.roadnetwork."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import RoadNetwork
+
+
+@pytest.fixture
+def grid():
+    return RoadNetwork.grid(4, 4)
+
+
+class TestGenerators:
+    def test_grid_counts(self, grid):
+        assert grid.n_nodes == 16
+        # 4x4 grid: 2 * (3*4 + 4*3) = 48 directed edges
+        assert grid.n_edges == 48
+
+    def test_grid_positions(self, grid):
+        assert grid.position((0, 0)) == (0.0, 0.0)
+        assert grid.position((2, 3)) == (3.0, 2.0)
+
+    def test_grid_one_way(self):
+        net = RoadNetwork.grid(3, 3, bidirectional=False)
+        assert net.has_edge((0, 0), (0, 1))
+        assert not net.has_edge((0, 1), (0, 0))
+
+    def test_grid_too_small(self):
+        with pytest.raises(ValueError):
+            RoadNetwork.grid(1, 5)
+
+    def test_random_geometric_strongly_connected(self):
+        rng = np.random.default_rng(0)
+        net = RoadNetwork.random_geometric(60, 2.5, rng=rng)
+        assert net.n_nodes >= 2
+        nodes = net.nodes()
+        # every retained pair is mutually reachable
+        path = net.shortest_path(nodes[0], nodes[-1])
+        back = net.shortest_path(nodes[-1], nodes[0])
+        assert path[0] == nodes[0] and back[-1] == nodes[0]
+
+    def test_random_geometric_too_sparse(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RoadNetwork.random_geometric(20, 0.001, rng=rng)
+
+
+class TestValidation:
+    def test_rejects_missing_pos(self):
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_node(0)
+        with pytest.raises(ValueError):
+            RoadNetwork(graph)
+
+    def test_rejects_nonpositive_length(self):
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_node(0, pos=(0, 0))
+        graph.add_node(1, pos=(1, 0))
+        graph.add_edge(0, 1, length=0.0)
+        with pytest.raises(ValueError):
+            RoadNetwork(graph)
+
+
+class TestGeometry:
+    def test_project_point_midpoint(self, grid):
+        distance, fraction = grid.project_point((0.5, 0.3), (0, 0), (0, 1))
+        assert distance == pytest.approx(0.3)
+        assert fraction == pytest.approx(0.5)
+
+    def test_project_point_clamps(self, grid):
+        _, fraction = grid.project_point((-1.0, 0.0), (0, 0), (0, 1))
+        assert fraction == 0.0
+
+    def test_point_on_edge(self, grid):
+        x, y = grid.point_on_edge((0, 0), (0, 1), 0.25)
+        assert (x, y) == (0.25, 0.0)
+
+    def test_candidate_edges_sorted(self, grid):
+        candidates = grid.candidate_edges((0.5, 0.1), radius=0.6)
+        assert candidates
+        distances = [c[2] for c in candidates]
+        assert distances == sorted(distances)
+        u, v, _, _ = candidates[0]
+        assert {u, v} == {(0, 0), (0, 1)}
+
+    def test_nearest_node(self, grid):
+        assert grid.nearest_node((2.9, 2.1)) == (2, 3)
+
+
+class TestPaths:
+    def test_shortest_path_manhattan(self, grid):
+        path = grid.shortest_path((0, 0), (2, 2))
+        assert grid.path_length(path) == pytest.approx(4.0)
+
+    def test_k_shortest_paths_distinct(self, grid):
+        paths = grid.k_shortest_paths((0, 0), (2, 2), 3)
+        assert len(paths) == 3
+        assert len({tuple(p) for p in paths}) == 3
+        lengths = [grid.path_length(p) for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_k_invalid(self, grid):
+        with pytest.raises(ValueError):
+            grid.k_shortest_paths((0, 0), (1, 1), 0)
+
+    def test_path_edges_validates(self, grid):
+        with pytest.raises(ValueError):
+            grid.path_edges([(0, 0), (2, 2)])
+
+    def test_path_edges_short(self, grid):
+        with pytest.raises(ValueError):
+            grid.path_edges([(0, 0)])
+
+    def test_route_distance_identity(self, grid):
+        path = grid.shortest_path((0, 0), (3, 3))
+        assert grid.route_distance(path, path) == 0.0
+
+    def test_route_distance_disjoint(self, grid):
+        path_a = [(0, 0), (0, 1), (0, 2)]
+        path_b = [(3, 0), (3, 1), (3, 2)]
+        assert grid.route_distance(path_a, path_b) == 1.0
+
+    def test_dijkstra_all_matches_networkx(self, grid):
+        distances = grid.dijkstra_all((0, 0))
+        for node in grid.nodes():
+            expected = grid.shortest_path_length((0, 0), node)
+            assert distances[node] == pytest.approx(expected)
+
+    def test_edge_attributes_roundtrip(self, grid):
+        grid.set_edge_attribute((0, 0), (0, 1), "speed", 13.0)
+        assert grid.edge_attribute((0, 0), (0, 1), "speed") == 13.0
+        assert grid.edge_attribute((0, 0), (0, 1), "missing", 7) == 7
+
+    def test_edge_attribute_missing_edge(self, grid):
+        with pytest.raises(KeyError):
+            grid.set_edge_attribute((0, 0), (3, 3), "x", 1)
+
+
+class TestConsistency:
+    def test_edge_lengths_match_positions(self, grid):
+        for u, v in grid.edges():
+            (x1, y1), (x2, y2) = grid.edge_endpoints(u, v)
+            assert grid.edge_length(u, v) == pytest.approx(
+                math.hypot(x2 - x1, y2 - y1)
+            )

@@ -1,0 +1,92 @@
+"""Tests for neighbour-consensus (spatio-temporal) anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import CorrelatedTimeSeries
+from repro.datasets import traffic_speed_dataset
+from repro.analytics.anomaly import GraphDeviationDetector
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    clean = traffic_speed_dataset(n_sensors=15, n_days=5, n_events=0,
+                                  rng=np.random.default_rng(0))
+    live = traffic_speed_dataset(n_sensors=15, n_days=2, n_events=0,
+                                 rng=np.random.default_rng(0))
+    return clean, live
+
+
+def with_stuck_sensor(dataset, sensor):
+    values = dataset.values
+    values[:, sensor] = values[:, sensor].mean()
+    return CorrelatedTimeSeries(values, adjacency=dataset.adjacency,
+                                timestamps=dataset.timestamps)
+
+
+class TestGraphDeviationDetector:
+    def test_flags_exactly_the_stuck_sensor(self, deployment):
+        """The spatio-temporal case temporal detectors miss: the frozen
+        value is individually plausible, only the *neighbour context*
+        reveals the fault — and blame lands on the right sensor."""
+        clean, live = deployment
+        faulty = with_stuck_sensor(live, 4)
+        detector = GraphDeviationDetector().fit(clean)
+        flagged = detector.flag_sensors(faulty, threshold=2.0)
+        assert list(flagged) == [4]
+
+    def test_healthy_deployment_not_flagged(self, deployment):
+        clean, live = deployment
+        detector = GraphDeviationDetector().fit(clean)
+        assert len(detector.flag_sensors(live, threshold=2.0)) == 0
+
+    def test_score_matrix_shape_and_positivity(self, deployment):
+        clean, live = deployment
+        detector = GraphDeviationDetector().fit(clean)
+        matrix = detector.score_matrix(live)
+        assert matrix.shape == live.values.shape
+        assert np.all(matrix >= 0)
+
+    def test_stuck_sensor_dominates_scores(self, deployment):
+        clean, live = deployment
+        faulty = with_stuck_sensor(live, 7)
+        detector = GraphDeviationDetector().fit(clean)
+        matrix = detector.score_matrix(faulty)
+        medians = np.median(matrix, axis=0)
+        assert np.argmax(medians) == 7
+        assert medians[7] > 5 * np.median(np.delete(medians, 7))
+
+    def test_per_timestep_score(self, deployment):
+        clean, live = deployment
+        detector = GraphDeviationDetector().fit(clean)
+        scores = detector.score(live)
+        assert scores.shape == (len(live),)
+
+    def test_isolated_sensor_uses_mean_fallback(self):
+        values = np.random.default_rng(1).normal(size=(100, 3))
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0  # sensor 2 isolated
+        dataset = CorrelatedTimeSeries(values, adjacency=adjacency)
+        detector = GraphDeviationDetector().fit(dataset)
+        kind, _ = detector._models[2]
+        assert kind == "mean"
+        assert np.isfinite(detector.score_matrix(dataset)).all()
+
+    def test_validation(self, deployment):
+        clean, live = deployment
+        detector = GraphDeviationDetector()
+        with pytest.raises(TypeError):
+            detector.fit(clean.as_timeseries())
+        with pytest.raises(RuntimeError):
+            detector.score(live)
+        detector.fit(clean)
+        small = traffic_speed_dataset(n_sensors=8, n_days=1,
+                                      rng=np.random.default_rng(2))
+        with pytest.raises(ValueError):
+            detector.score(small)
+
+    def test_rejects_incomplete(self, deployment):
+        clean, _ = deployment
+        gappy = clean.corrupt(0.1, np.random.default_rng(3))
+        with pytest.raises(ValueError):
+            GraphDeviationDetector().fit(gappy)

@@ -1,0 +1,208 @@
+"""Unit and property tests for repro.datatypes.timeseries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TimeSeries
+
+
+def make_series(n=20, c=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return TimeSeries(rng.normal(size=(n, c)))
+
+
+class TestConstruction:
+    def test_univariate_promoted_to_matrix(self):
+        series = TimeSeries([1.0, 2.0, 3.0])
+        assert series.values.shape == (3, 1)
+        assert series.n_channels == 1
+        assert series.is_univariate
+
+    def test_default_timestamps_are_range(self):
+        series = TimeSeries([1.0, 2.0, 3.0])
+        assert np.array_equal(series.timestamps, [0.0, 1.0, 2.0])
+
+    def test_nan_marks_missing(self):
+        series = TimeSeries([1.0, np.nan, 3.0])
+        assert series.missing_fraction() == pytest.approx(1 / 3)
+        assert not series.is_complete()
+
+    def test_explicit_mask_blanks_values(self):
+        series = TimeSeries([1.0, 2.0, 3.0], mask=[[True], [False], [True]])
+        assert np.isnan(series.values[1, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TimeSeries(np.empty((0, 1)))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            TimeSeries(np.zeros((2, 2, 2)))
+
+    def test_rejects_nonincreasing_timestamps(self):
+        with pytest.raises(ValueError):
+            TimeSeries([1.0, 2.0], timestamps=[1.0, 1.0])
+
+    def test_rejects_mismatched_timestamps(self):
+        with pytest.raises(ValueError):
+            TimeSeries([1.0, 2.0], timestamps=[0.0, 1.0, 2.0])
+
+    def test_rejects_mask_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            TimeSeries([1.0, 2.0], mask=[[True], [False], [True]])
+
+    def test_rejects_mask_claiming_nan_observed(self):
+        with pytest.raises(ValueError):
+            TimeSeries([1.0, np.nan], mask=[[True], [True]])
+
+    def test_values_are_copied(self):
+        raw = np.array([[1.0], [2.0]])
+        series = TimeSeries(raw)
+        raw[0, 0] = 99.0
+        assert series.values[0, 0] == 1.0
+
+
+class TestAccessors:
+    def test_channel_extraction(self):
+        series = make_series(n=10, c=3)
+        channel = series.channel(1)
+        assert channel.is_univariate
+        assert np.allclose(channel.values[:, 0], series.values[:, 1])
+
+    def test_channel_negative_index(self):
+        series = make_series(n=5, c=2)
+        assert np.allclose(series.channel(-1).values[:, 0],
+                           series.values[:, 1])
+
+    def test_channel_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_series(c=2).channel(5)
+
+    def test_equality(self):
+        a = make_series(seed=1)
+        b = TimeSeries(a.values, timestamps=a.timestamps)
+        assert a == b
+
+    def test_inequality_on_values(self):
+        a = make_series(seed=1)
+        values = a.values
+        values[0, 0] += 1
+        assert a != TimeSeries(values, timestamps=a.timestamps)
+
+
+class TestTransformations:
+    def test_slice_bounds(self):
+        series = make_series(n=10)
+        part = series.slice(2, 5)
+        assert len(part) == 3
+        assert np.allclose(part.values, series.values[2:5])
+
+    def test_slice_invalid(self):
+        with pytest.raises(ValueError):
+            make_series(n=10).slice(5, 5)
+
+    def test_split_lengths(self):
+        head, tail = make_series(n=10).split(0.7)
+        assert len(head) == 7
+        assert len(tail) == 3
+
+    def test_split_always_nonempty(self):
+        head, tail = make_series(n=2).split(0.99)
+        assert len(head) == 1 and len(tail) == 1
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            make_series().split(1.0)
+
+    def test_drop_missing(self):
+        series = TimeSeries([[1.0, 2.0], [np.nan, 3.0], [4.0, 5.0]])
+        complete = series.drop_missing()
+        assert len(complete) == 2
+        assert complete.is_complete()
+
+    def test_drop_missing_all_gone(self):
+        with pytest.raises(ValueError):
+            TimeSeries([[np.nan], [np.nan]]).drop_missing()
+
+    def test_diff_length(self):
+        series = make_series(n=10)
+        assert len(series.diff()) == 9
+
+    def test_diff_values(self):
+        series = TimeSeries([1.0, 3.0, 6.0])
+        assert np.allclose(series.diff().values[:, 0], [2.0, 3.0])
+
+    def test_windows_count(self):
+        series = make_series(n=10)
+        assert len(list(series.windows(4))) == 7
+        assert len(list(series.windows(4, stride=2))) == 4
+
+    def test_window_matrix_shape(self):
+        series = make_series(n=10, c=2)
+        matrix = series.window_matrix(4)
+        assert matrix.shape == (7, 4, 2)
+
+    def test_windows_invalid_length(self):
+        with pytest.raises(ValueError):
+            list(make_series(n=5).windows(6))
+
+    def test_standardized_roundtrip(self):
+        series = make_series(n=50, c=2, seed=3)
+        scaled, mean, std = series.standardized()
+        restored = scaled.values * std + mean
+        assert np.allclose(restored, series.values)
+
+    def test_standardized_zero_variance_channel(self):
+        series = TimeSeries(np.ones((10, 1)))
+        scaled, mean, std = series.standardized()
+        assert std[0] == 1.0
+        assert np.allclose(scaled.values, 0.0)
+
+    def test_corrupt_hits_target_rate(self):
+        rng = np.random.default_rng(0)
+        series = make_series(n=200, c=2)
+        corrupted = series.corrupt(0.3, rng)
+        assert corrupted.missing_fraction() == pytest.approx(0.3, abs=0.05)
+
+    def test_corrupt_block_gaps(self):
+        rng = np.random.default_rng(0)
+        series = make_series(n=300, c=1)
+        corrupted = series.corrupt(0.2, rng, block_length=10)
+        missing = ~corrupted.mask[:, 0]
+        # Block removal creates runs; count transitions, far fewer than
+        # the number of missing points.
+        transitions = np.diff(missing.astype(int)) != 0
+        assert transitions.sum() < missing.sum()
+
+    def test_corrupt_invalid_rate(self):
+        with pytest.raises(ValueError):
+            make_series().corrupt(1.0, np.random.default_rng(0))
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    c=st.integers(min_value=1, max_value=4),
+    fraction=st.floats(min_value=0.05, max_value=0.95),
+)
+def test_split_partition_property(n, c, fraction):
+    """head + tail always partition the series exactly."""
+    rng = np.random.default_rng(42)
+    series = TimeSeries(rng.normal(size=(n, c)))
+    head, tail = series.split(fraction)
+    assert len(head) + len(tail) == n
+    recombined = np.vstack([head.values, tail.values])
+    assert np.allclose(recombined, series.values)
+
+
+@settings(deadline=None, max_examples=25)
+@given(rate=st.floats(min_value=0.0, max_value=0.6), seed=st.integers(0, 100))
+def test_corrupt_never_invents_values(rate, seed):
+    """Corruption only removes data: surviving entries are unchanged."""
+    rng = np.random.default_rng(seed)
+    base = TimeSeries(np.arange(60, dtype=float).reshape(30, 2))
+    corrupted = base.corrupt(rate, rng)
+    mask = corrupted.mask
+    assert np.allclose(corrupted.values[mask], base.values[mask])

@@ -1,0 +1,118 @@
+"""Tests for repro.datatypes.trajectory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GpsPoint, Trajectory
+
+
+def straight_line(n=10, speed=2.0):
+    return Trajectory([(speed * t, 0.0, float(t)) for t in range(n)])
+
+
+class TestGpsPoint:
+    def test_distance(self):
+        assert GpsPoint(0, 0, 0).distance_to(GpsPoint(3, 4, 1)) == 5.0
+
+    def test_equality_and_hash(self):
+        assert GpsPoint(1, 2, 3) == GpsPoint(1, 2, 3)
+        assert hash(GpsPoint(1, 2, 3)) == hash(GpsPoint(1, 2, 3))
+
+
+class TestConstruction:
+    def test_accepts_tuples_and_points(self):
+        trajectory = Trajectory([(0, 0, 0), GpsPoint(1, 0, 1)])
+        assert len(trajectory) == 2
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            Trajectory([(0, 0, 0)])
+
+    def test_rejects_nonincreasing_times(self):
+        with pytest.raises(ValueError):
+            Trajectory([(0, 0, 1), (1, 0, 1)])
+
+
+class TestMeasures:
+    def test_duration(self):
+        assert straight_line(5).duration() == 4.0
+
+    def test_length(self):
+        assert straight_line(5, speed=2.0).length() == pytest.approx(8.0)
+
+    def test_average_speed(self):
+        assert straight_line(5, speed=2.0).average_speed() == pytest.approx(2.0)
+
+    def test_segment_speeds_constant(self):
+        speeds = straight_line(6, speed=3.0).segment_speeds()
+        assert np.allclose(speeds, 3.0)
+
+
+class TestTransformations:
+    def test_resample_interval(self):
+        resampled = straight_line(10).resample(2.0)
+        gaps = np.diff(resampled.times())
+        assert np.all(gaps > 0)
+        assert resampled.times()[0] == 0.0
+        assert resampled.times()[-1] == 9.0
+
+    def test_resample_positions_on_line(self):
+        resampled = straight_line(10, speed=2.0).resample(0.5)
+        xs = resampled.coordinates()
+        assert np.allclose(xs[:, 0], 2.0 * resampled.times())
+
+    def test_resample_invalid(self):
+        with pytest.raises(ValueError):
+            straight_line().resample(0.0)
+
+    def test_noise_zero_sigma_identity(self):
+        original = straight_line()
+        noisy = original.with_noise(0.0, np.random.default_rng(0))
+        assert np.allclose(noisy.coordinates(), original.coordinates())
+
+    def test_noise_displaces_points(self):
+        original = straight_line(50)
+        noisy = original.with_noise(0.5, np.random.default_rng(0))
+        displacement = np.linalg.norm(
+            noisy.coordinates() - original.coordinates(), axis=1
+        )
+        assert displacement.mean() > 0.1
+        assert np.array_equal(noisy.times(), original.times())
+
+    def test_noise_negative_sigma(self):
+        with pytest.raises(ValueError):
+            straight_line().with_noise(-1.0)
+
+    def test_dropped_keeps_endpoints(self):
+        original = straight_line(50)
+        sparse = original.dropped(0.1, np.random.default_rng(0))
+        assert sparse[0] == original[0]
+        assert sparse[-1] == original[-1]
+        assert len(sparse) < len(original)
+
+    def test_dropped_full_keep(self):
+        original = straight_line(10)
+        assert len(original.dropped(1.0, np.random.default_rng(0))) == 10
+
+    def test_dropped_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            straight_line().dropped(0.0)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    n=st.integers(min_value=3, max_value=30),
+    interval=st.floats(min_value=0.2, max_value=5.0),
+)
+def test_resample_preserves_endpoints_and_length_upper_bound(n, interval):
+    """Resampling keeps endpoints and can only shorten the polyline
+    (piecewise-linear interpolation never adds length)."""
+    rng = np.random.default_rng(n)
+    points = [(rng.normal(), rng.normal(), float(t)) for t in range(n)]
+    trajectory = Trajectory(points)
+    resampled = trajectory.resample(interval)
+    assert resampled.times()[0] == trajectory.times()[0]
+    assert resampled.times()[-1] == trajectory.times()[-1]
+    assert resampled.length() <= trajectory.length() + 1e-9

@@ -1,0 +1,198 @@
+"""Tests for the edge-centric vs path-centric uncertainty models."""
+
+import numpy as np
+import pytest
+
+from repro import RoadNetwork
+from repro.datasets import TrafficSimulator
+from repro.governance.uncertainty import (
+    EdgeCentricModel,
+    Histogram,
+    PathCentricModel,
+    TimeVaryingDistribution,
+    wasserstein_distance,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    network = RoadNetwork.grid(5, 5)
+    simulator = TrafficSimulator(
+        network, sigma_correlated=0.35, sigma_independent=0.1,
+        rng=np.random.default_rng(1),
+    )
+    paths = [
+        network.shortest_path((0, 0), (4, 4)),
+        network.shortest_path((0, 4), (4, 0)),
+    ]
+    rng = np.random.default_rng(11)
+    trips = []
+    for _ in range(250):
+        for path in paths:
+            edges = network.path_edges(path)
+            times = simulator.sample_edge_times(edges, departure_minute=480,
+                                                rng=rng)
+            trips.append((path, times, 480.0))
+    return network, simulator, paths, trips
+
+
+class TestTimeVaryingDistribution:
+    def test_interval_lookup(self):
+        morning = Histogram.point_mass(10.0)
+        evening = Histogram.point_mass(20.0)
+        tv = TimeVaryingDistribution(
+            [(0, 720), (720, 1440)], [morning, evening])
+        assert tv.at(100).mean() == pytest.approx(10.0)
+        assert tv.at(800).mean() == pytest.approx(20.0)
+
+    def test_wraps_midnight(self):
+        tv = TimeVaryingDistribution([(0, 1440)],
+                                     [Histogram.point_mass(5.0)])
+        assert tv.at(1500).mean() == pytest.approx(5.0)
+
+    def test_fallback_to_nearest(self):
+        tv = TimeVaryingDistribution([(0, 100), (1000, 1100)],
+                                     [Histogram.point_mass(1.0),
+                                      Histogram.point_mass(2.0)])
+        assert tv.at(150).mean() == pytest.approx(1.0)
+        assert tv.at(900).mean() == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeVaryingDistribution([(10, 10)], [Histogram.point_mass(1.0)])
+        with pytest.raises(ValueError):
+            TimeVaryingDistribution([], [])
+
+
+class TestEdgeCentricModel:
+    def test_fit_covers_observed_edges(self, setup):
+        network, _, paths, trips = setup
+        model = EdgeCentricModel().fit(trips)
+        used = {edge for path in paths for edge in network.path_edges(path)}
+        assert model.n_edges == len(used)
+
+    def test_unobserved_edge_raises(self, setup):
+        _, _, _, trips = setup
+        model = EdgeCentricModel().fit(trips)
+        with pytest.raises(KeyError):
+            model.edge_distribution((3, 3), (3, 4))
+
+    def test_path_mean_close_to_truth(self, setup):
+        _, simulator, paths, trips = setup
+        model = EdgeCentricModel().fit(trips)
+        estimate = model.path_distribution(paths[0], 480)
+        truth = simulator.sample_path_times(
+            paths[0], 2000, departure_minute=480,
+            rng=np.random.default_rng(5))
+        assert estimate.mean() == pytest.approx(truth.mean(), rel=0.12)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeCentricModel().fit([])
+
+    def test_gmm_representation_close_to_histogram(self, setup):
+        """The paper's alternative UQ representation: a GMM fit gives a
+        comparable distribution estimate to the raw histogram."""
+        _, simulator, paths, trips = setup
+        gmm = EdgeCentricModel(representation="gmm",
+                               n_components=2).fit(trips)
+        histogram = EdgeCentricModel().fit(trips)
+        d_gmm = gmm.path_distribution(paths[0], 480)
+        d_hist = histogram.path_distribution(paths[0], 480)
+        assert d_gmm.mean() == pytest.approx(d_hist.mean(), rel=0.1)
+        assert d_gmm.std() == pytest.approx(d_hist.std(), rel=0.35)
+
+    def test_unknown_representation_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeCentricModel(representation="parametric")
+
+    def test_mismatched_edge_times_rejected(self, setup):
+        _, _, paths, _ = setup
+        with pytest.raises(ValueError):
+            EdgeCentricModel().fit([(paths[0], [1.0], 0.0)])
+
+
+class TestPathCentricModel:
+    def test_coverage_concatenates_to_path(self, setup):
+        _, _, paths, trips = setup
+        model = PathCentricModel(min_support=10,
+                                 max_subpath_edges=4).fit(trips)
+        pieces = model.coverage(paths[0])
+        rebuilt = list(pieces[0])
+        for piece in pieces[1:]:
+            assert rebuilt[-1] == piece[0]
+            rebuilt.extend(piece[1:])
+        assert rebuilt == list(paths[0])
+
+    def test_longest_pieces_preferred(self, setup):
+        _, _, paths, trips = setup
+        model = PathCentricModel(min_support=10,
+                                 max_subpath_edges=8).fit(trips)
+        pieces = model.coverage(paths[0])
+        assert len(pieces[0]) - 1 == 8  # whole prefix captured jointly
+
+    def test_path_centric_beats_edge_centric_on_variance(self, setup):
+        """The tutorial's central uncertainty claim (E5): the
+        path-centric paradigm captures distribution correlations along
+        paths that the edge-centric paradigm misses."""
+        _, simulator, paths, trips = setup
+        edge_model = EdgeCentricModel().fit(trips)
+        path_model = PathCentricModel(min_support=10,
+                                      max_subpath_edges=8).fit(trips)
+        truth = Histogram.from_samples(simulator.sample_path_times(
+            paths[0], 3000, departure_minute=480,
+            rng=np.random.default_rng(5)))
+        edge_estimate = edge_model.path_distribution(paths[0], 480)
+        path_estimate = path_model.path_distribution(paths[0], 480)
+
+        edge_error = wasserstein_distance(edge_estimate, truth)
+        path_error = wasserstein_distance(path_estimate, truth)
+        assert path_error < edge_error
+        # Edge-centric systematically underestimates the spread.
+        assert edge_estimate.std() < 0.7 * truth.std()
+        assert abs(path_estimate.std() - truth.std()) < 0.3 * truth.std()
+
+    def test_falls_back_to_edges_for_unseen_route(self, setup):
+        network, _, paths, trips = setup
+        model = PathCentricModel(min_support=10).fit(trips)
+        # A route mixing pieces of both trained paths was never seen as a
+        # whole, but its edges were - coverage should still succeed when
+        # edges overlap, otherwise raise KeyError.
+        unseen = [(0, 0), (1, 0)]
+        first_edges = set(network.path_edges(paths[0]))
+        if tuple(unseen) in {tuple(p) for p in (paths[0], paths[1])}:
+            pytest.skip("trivial route")
+        if (unseen[0], unseen[1]) in first_edges | set(
+                network.path_edges(paths[1])):
+            distribution = model.path_distribution(unseen)
+            assert distribution.mean() > 0
+        else:
+            with pytest.raises(KeyError):
+                model.path_distribution(unseen)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PathCentricModel(max_subpath_edges=0)
+        with pytest.raises(ValueError):
+            PathCentricModel(min_support=0)
+        with pytest.raises(ValueError):
+            PathCentricModel().fit([])
+
+
+class TestWasserstein:
+    def test_identical_distributions(self):
+        histogram = Histogram(0.0, 1.0, [0.5, 0.5])
+        assert wasserstein_distance(histogram, histogram) == pytest.approx(
+            0.0, abs=1e-9)
+
+    def test_shifted_point_masses(self):
+        a = Histogram.point_mass(0.0, width=0.01)
+        b = Histogram.point_mass(3.0, width=0.01)
+        assert wasserstein_distance(a, b) == pytest.approx(3.0, abs=0.05)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = Histogram.from_samples(rng.normal(0, 1, 300))
+        b = Histogram.from_samples(rng.normal(2, 2, 300))
+        assert wasserstein_distance(a, b) == pytest.approx(
+            wasserstein_distance(b, a), rel=1e-9)

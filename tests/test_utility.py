@@ -1,0 +1,187 @@
+"""Tests for utility functions and stochastic dominance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.governance.uncertainty import Histogram
+from repro.decision import (
+    DeadlineUtility,
+    RiskAverseUtility,
+    RiskNeutralUtility,
+    RiskSeekingUtility,
+    certainty_equivalent,
+    dominance_prune,
+    expected_utility,
+    first_order_dominates,
+    second_order_dominates,
+    select_best,
+)
+
+
+def normal_cost(mean, std, seed=0, n=3000):
+    rng = np.random.default_rng(seed)
+    return Histogram.from_samples(rng.normal(mean, std, n), n_bins=40)
+
+
+class TestUtilities:
+    def test_all_utilities_decreasing_in_cost(self):
+        costs = np.linspace(0.0, 10.0, 50)
+        for utility in (RiskNeutralUtility(),
+                        RiskAverseUtility(scale=5.0),
+                        RiskSeekingUtility(scale=5.0)):
+            values = utility(costs)
+            assert np.all(np.diff(values) < 0)
+
+    def test_risk_neutral_ranks_by_mean(self):
+        cheap = normal_cost(5.0, 3.0, seed=1)
+        costly = normal_cost(6.0, 0.1, seed=2)
+        utility = RiskNeutralUtility()
+        assert utility.expected(cheap) > utility.expected(costly)
+
+    def test_risk_averse_prefers_reliable_option(self):
+        # Same mean, different spread: the averse agent takes the
+        # reliable one, the neutral agent is indifferent.
+        risky = normal_cost(10.0, 4.0, seed=3)
+        safe = normal_cost(10.0, 0.5, seed=4)
+        averse = RiskAverseUtility(aversion=2.0, scale=10.0)
+        assert averse.expected(safe) > averse.expected(risky)
+        neutral = RiskNeutralUtility()
+        assert neutral.expected(safe) == pytest.approx(
+            neutral.expected(risky), abs=0.2)
+
+    def test_risk_seeking_prefers_gamble(self):
+        risky = normal_cost(10.0, 4.0, seed=5)
+        safe = normal_cost(10.0, 0.5, seed=6)
+        seeking = RiskSeekingUtility(seeking=2.0, scale=10.0)
+        assert seeking.expected(risky) > seeking.expected(safe)
+
+    def test_deadline_utility_is_on_time_probability(self):
+        cost = normal_cost(10.0, 2.0, seed=7)
+        utility = DeadlineUtility(12.0)
+        assert utility.expected(cost) == pytest.approx(
+            cost.cdf(12.0), abs=0.02)
+
+    def test_expected_utility_type_checks(self):
+        with pytest.raises(TypeError):
+            expected_utility(normal_cost(1, 1), lambda c: -c)
+        with pytest.raises(TypeError):
+            RiskNeutralUtility().expected("not a histogram")
+
+    def test_certainty_equivalent_exceeds_mean_when_averse(self):
+        cost = normal_cost(10.0, 3.0, seed=8)
+        averse = RiskAverseUtility(aversion=2.0, scale=10.0)
+        equivalent = certainty_equivalent(cost, averse)
+        assert equivalent > cost.mean()
+
+    def test_certainty_equivalent_equals_mean_when_neutral(self):
+        cost = normal_cost(10.0, 3.0, seed=9)
+        equivalent = certainty_equivalent(cost, RiskNeutralUtility())
+        assert equivalent == pytest.approx(cost.mean(), abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RiskAverseUtility(aversion=0.0)
+        with pytest.raises(ValueError):
+            RiskSeekingUtility(seeking=-1.0)
+
+
+class TestDominance:
+    def test_fsd_clear_shift(self):
+        cheap = normal_cost(5.0, 1.0, seed=10)
+        costly = normal_cost(9.0, 1.0, seed=11)
+        assert first_order_dominates(cheap, costly)
+        assert not first_order_dominates(costly, cheap)
+
+    def test_fsd_fails_on_crossing_cdfs(self):
+        tight = normal_cost(10.0, 0.3, seed=12)
+        wide = normal_cost(10.0, 3.0, seed=13)
+        assert not first_order_dominates(tight, wide)
+        assert not first_order_dominates(wide, tight)
+
+    def test_ssd_resolves_mean_preserving_spread(self):
+        # An exact mean-preserving spread (empirical draws would make
+        # the means differ slightly and SSD is sharp at the mean).
+        tight = Histogram(10.0, 0.5, [1.0])
+        wide = Histogram(5.0, 10.0, [0.5, 0.5])  # mass at 5 and 15
+        assert second_order_dominates(tight, wide)
+        assert not second_order_dominates(wide, tight)
+
+    def test_fsd_implies_ssd(self):
+        cheap = normal_cost(5.0, 1.0, seed=16)
+        costly = normal_cost(9.0, 1.0, seed=17)
+        assert second_order_dominates(cheap, costly)
+
+    def test_no_self_dominance(self):
+        cost = normal_cost(5.0, 1.0, seed=18)
+        assert not first_order_dominates(cost, cost)
+        assert not second_order_dominates(cost, cost)
+
+    def test_type_checks(self):
+        with pytest.raises(TypeError):
+            first_order_dominates(normal_cost(1, 1), "x")
+
+
+class TestPruning:
+    def make_candidates(self):
+        # Three clearly dominated, three on the efficient frontier.
+        return [
+            normal_cost(5.0, 1.0, seed=20),    # frontier (cheap)
+            normal_cost(8.0, 0.3, seed=21),    # frontier (reliable)
+            normal_cost(6.5, 0.6, seed=22),    # frontier (middle)
+            normal_cost(9.0, 1.2, seed=23),    # dominated
+            normal_cost(11.0, 2.0, seed=24),   # dominated
+            normal_cost(8.5, 0.9, seed=25),    # dominated-ish
+        ]
+
+    def test_prune_removes_dominated(self):
+        candidates = self.make_candidates()
+        survivors = dominance_prune(candidates)
+        assert 0 in survivors
+        assert 4 not in survivors
+        assert len(survivors) < len(candidates)
+
+    def test_ssd_prunes_at_least_as_much(self):
+        candidates = self.make_candidates()
+        fsd = dominance_prune(candidates, order=1)
+        ssd = dominance_prune(candidates, order=2)
+        assert set(ssd) <= set(fsd)
+
+    def test_pruning_preserves_optimum_across_risk_profiles(self):
+        """E18's correctness claim: the expected-utility optimum always
+        survives FSD pruning, whatever the (decreasing) risk profile."""
+        candidates = self.make_candidates()
+        for utility in (RiskNeutralUtility(),
+                        RiskAverseUtility(aversion=2.0, scale=10.0),
+                        RiskSeekingUtility(seeking=2.0, scale=10.0),
+                        DeadlineUtility(7.0)):
+            pruned_best, _, n_pruned = select_best(
+                candidates, utility, prune=True)
+            full_best, _, n_full = select_best(
+                candidates, utility, prune=False)
+            assert pruned_best == full_best
+            assert n_pruned <= n_full
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            dominance_prune([normal_cost(1, 1)], order=3)
+
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            select_best([], RiskNeutralUtility())
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    shift=st.floats(min_value=0.5, max_value=5.0),
+    seed=st.integers(0, 100),
+)
+def test_fsd_from_pure_shift_property(shift, seed):
+    """A pure rightward shift of a cost distribution is always
+    FSD-dominated by the original."""
+    rng = np.random.default_rng(seed)
+    base = Histogram.from_samples(rng.gamma(3.0, 2.0, 500), n_bins=30)
+    shifted = base.shift(shift)
+    assert first_order_dominates(base, shifted)
+    assert not first_order_dominates(shifted, base)
