@@ -7,13 +7,18 @@ data quality that the downstream layers consume.
 The bench runs the full traffic pipeline and an ablation table: the
 reconstruction error of the training data (what analytics sees) and
 the resulting forecast error, with the imputation stage on and off.
+
+Since the engine refactor the stages declare contracts, so the
+ablation also exercises the content-keyed stage cache: a rerun
+against the same :class:`StageCache` replays every stage outside the
+removed stage's downstream cone instead of re-executing it.
 """
 
 import numpy as np
 import pytest
 
 from conftest import print_table
-from repro import DecisionPipeline
+from repro import DecisionPipeline, StageCache
 from repro.analytics.forecasting import GraphFilterForecaster
 from repro.analytics.metrics import mae
 from repro.datasets import traffic_speed_dataset
@@ -30,40 +35,58 @@ def build_workload():
     return train, test, observed
 
 
-def run_pipeline(train, test, observed, *, use_governance):
+def _finish_impute(s, values):
+    s["clean"] = CorrelatedTimeSeries(
+        values, adjacency=s["observed"].adjacency,
+        timestamps=s["observed"].timestamps)
+    holes = ~s["observed"].mask
+    s["repair_mae"] = float(np.abs(
+        values[holes] - s["truth"].values[holes]).mean())
+    return "imputed"
+
+
+def impute_governed(s):
+    completed = impute_seasonal(s["observed"].as_timeseries(), 96)
+    return _finish_impute(s, completed.values)
+
+
+def impute_naive(s):
+    values = np.nan_to_num(s["observed"].values,
+                           nan=np.nanmean(s["observed"].values))
+    return _finish_impute(s, values)
+
+
+def forecast(s):
+    model = GraphFilterForecaster(n_lags=6, n_hops=2).fit(s["clean"])
+    s["forecast_mae"] = mae(s["test"].values,
+                            model.predict(len(s["test"])))
+    return "forecasted"
+
+
+def dispatch(s):
+    s["dispatch"] = np.argsort(s["clean"].values[-4:].mean(axis=0))[:3]
+    return "dispatched"
+
+
+def build_pipeline(*, use_governance):
     pipeline = DecisionPipeline("E1")
+    pipeline.add_governance(
+        "impute", impute_governed if use_governance else impute_naive,
+        reads=("observed", "truth"), writes=("clean", "repair_mae"))
+    pipeline.add_analytics(
+        "forecast", forecast,
+        reads=("clean", "test"), writes=("forecast_mae",))
+    pipeline.add_decision(
+        "dispatch", dispatch,
+        reads=("clean",), writes=("dispatch",))
+    return pipeline
+
+
+def run_pipeline(train, test, observed, *, use_governance,
+                 cache=None):
     state = {"observed": observed, "truth": train, "test": test}
-
-    def impute(s):
-        if use_governance:
-            completed = impute_seasonal(s["observed"].as_timeseries(), 96)
-            values = completed.values
-        else:
-            values = np.nan_to_num(s["observed"].values,
-                                   nan=np.nanmean(s["observed"].values))
-        s["clean"] = CorrelatedTimeSeries(
-            values, adjacency=s["observed"].adjacency,
-            timestamps=s["observed"].timestamps)
-        holes = ~s["observed"].mask
-        s["repair_mae"] = float(np.abs(
-            values[holes] - s["truth"].values[holes]).mean())
-        return "imputed"
-
-    def forecast(s):
-        model = GraphFilterForecaster(n_lags=6, n_hops=2).fit(s["clean"])
-        s["forecast_mae"] = mae(s["test"].values,
-                                model.predict(len(s["test"])))
-        return "forecasted"
-
-    def decide(s):
-        s["dispatch"] = np.argsort(s["clean"].values[-4:].mean(axis=0))[:3]
-        return "dispatched"
-
-    pipeline.add_governance("impute", impute)
-    pipeline.add_analytics("forecast", forecast)
-    pipeline.add_decision("dispatch", decide)
-    final_state, report = pipeline.run(state)
-    return final_state, report
+    pipeline = build_pipeline(use_governance=use_governance)
+    return pipeline.run(state, cache=cache)
 
 
 def run_experiment():
@@ -82,6 +105,30 @@ def run_experiment():
     return rows
 
 
+def run_cache_ablation():
+    """E1's without_stage rerun against a shared stage cache."""
+    train, test, observed = build_workload()
+    state = {"observed": observed, "truth": train, "test": test}
+    cache = StageCache()
+    pipeline = build_pipeline(use_governance=True)
+
+    _, cold = pipeline.run(state, cache=cache)
+    _, warm = pipeline.run(state, cache=cache)
+    _, ablated = pipeline.without_stage("dispatch").run(state,
+                                                       cache=cache)
+    return [
+        {"run": "cold", "cache_hits": cold.cache_hits,
+         "stages": len(cold.records),
+         "wall_s": cold.wall_seconds},
+        {"run": "warm rerun", "cache_hits": warm.cache_hits,
+         "stages": len(warm.records),
+         "wall_s": warm.wall_seconds},
+        {"run": "without dispatch", "cache_hits": ablated.cache_hits,
+         "stages": len(ablated.records),
+         "wall_s": ablated.wall_seconds},
+    ]
+
+
 @pytest.mark.benchmark(group="e01")
 def test_e01_pipeline(benchmark):
     rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
@@ -90,5 +137,21 @@ def test_e01_pipeline(benchmark):
     # Governance improves the data the rest of the pipeline consumes by
     # a large factor.
     assert governed["repair_mae"] < 0.5 * naive["repair_mae"]
-    # And the end-to-end run completes with all four layers reporting.
+    # And the end-to-end run completes with all stages reporting.
     assert governed["stages"] == 3
+
+
+@pytest.mark.benchmark(group="e01")
+def test_e01_cache_ablation(benchmark):
+    rows = benchmark.pedantic(run_cache_ablation, rounds=1,
+                              iterations=1)
+    print_table("E1: stage-cache reuse across reruns", rows)
+    cold, warm, ablated = rows
+    assert cold["cache_hits"] == 0
+    # A rerun of the identical pipeline replays every stage.
+    assert warm["cache_hits"] == warm["stages"] == 3
+    # Removing a stage leaves everything outside its downstream cone
+    # cached: impute and forecast replay, only dispatch is gone.
+    assert ablated["stages"] == 2
+    assert ablated["cache_hits"] == 2
+    assert warm["wall_s"] < cold["wall_s"]

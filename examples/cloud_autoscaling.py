@@ -8,6 +8,11 @@ ramp and the recurring evening batch spike; the predictive policy
 anticipates both and provisions the demand distribution's tail
 quantile.
 
+The scenario runs as a :class:`DecisionPipeline` with declared stage
+contracts: the probabilistic-forecast peek (analytics) and the policy
+simulations (decision) both read only the demand trace, so the DAG
+scheduler runs them concurrently.
+
 Run with::
 
     python examples/cloud_autoscaling.py
@@ -15,6 +20,7 @@ Run with::
 
 import numpy as np
 
+from repro import DecisionPipeline
 from repro.datasets import cloud_demand_dataset
 from repro.analytics.forecasting import GaussianForecaster
 from repro.decision import (
@@ -28,31 +34,34 @@ LEAD_STEPS = 6          # capacity lead time: 6 x 10 min = 1 hour
 STEPS_PER_DAY = 144
 
 
-def main():
+def load_demand(state):
+    """data: twelve days of demand with surges and scheduled spikes."""
     demand, burst_steps = cloud_demand_dataset(
         n_days=12, daily_amplitude=80.0, burst_rate_per_day=0.5,
         daily_spike_height=250.0, rng=np.random.default_rng(6))
+    state["demand"] = demand
+    state["burst_steps"] = burst_steps
     values = demand.values[:, 0]
-    print(f"demand trace: {len(demand)} steps over 12 days, "
-          f"mean {values.mean():.0f}, peak {values.max():.0f} req/s, "
-          f"{burst_steps.sum()} surge steps")
+    return (f"{len(demand)} steps over 12 days, mean "
+            f"{values.mean():.0f}, peak {values.max():.0f} req/s, "
+            f"{burst_steps.sum()} surge steps")
 
-    # A peek at the probabilistic forecast the scaler consumes.
-    train = demand.slice(0, 10 * STEPS_PER_DAY)
+
+def forecast_peek(state):
+    """analytics: the probabilistic forecast the scaler consumes."""
+    train = state["demand"].slice(0, 10 * STEPS_PER_DAY)
     forecaster = GaussianForecaster(
         n_lags=24, seasonal_period=STEPS_PER_DAY).fit(train)
-    distributions = forecaster.predict_distribution(LEAD_STEPS)
-    print("\nforecast for the next hour (10-minute steps):")
-    for step, distribution in enumerate(distributions, start=1):
-        print(f"  +{10 * step:3d} min: mean {distribution.mean():6.1f}, "
-              f"95th pct {distribution.quantile(0.95):6.1f}")
+    state["distributions"] = forecaster.predict_distribution(LEAD_STEPS)
+    tail = state["distributions"][-1]
+    return (f"next hour: mean ends at {tail.mean():.0f}, "
+            f"95th pct {tail.quantile(0.95):.0f} req/s")
 
-    print(f"\nscaling policies (capacity lead time: {10 * LEAD_STEPS} "
-          "minutes):")
-    header = (f"  {'policy':28s}{'violations':>12s}{'capacity':>10s}"
-              f"{'overprov':>10s}{'actions':>9s}")
-    print(header)
-    print("  " + "-" * (len(header) - 2))
+
+def simulate_policies(state):
+    """decision: fixed vs reactive vs predictive scaling policies."""
+    demand = state["demand"]
+    values = demand.values[:, 0]
     policies = [
         ("fixed @ 95% of peak",
          FixedScaler(float(values.max()) * 0.95)),
@@ -65,10 +74,46 @@ def main():
          PredictiveScaler(slo_target=0.02, seasonal_period=STEPS_PER_DAY,
                           horizon=LEAD_STEPS)),
     ]
+    rows = []
     for name, scaler in policies:
         result = simulate_scaling(demand, scaler,
                                   warmup=3 * STEPS_PER_DAY,
                                   lead_time=LEAD_STEPS)
+        rows.append((name, result))
+    state["policy_rows"] = rows
+    return f"simulated {len(rows)} scaling policies"
+
+
+def build_pipeline():
+    pipeline = DecisionPipeline("uncertainty-aware autoscaling")
+    pipeline.add_data("demand", load_demand,
+                      reads=(), writes=("demand", "burst_steps"))
+    pipeline.add_analytics("forecast", forecast_peek,
+                           reads=("demand",),
+                           writes=("distributions",))
+    pipeline.add_decision("policies", simulate_policies,
+                          reads=("demand",), writes=("policy_rows",))
+    return pipeline
+
+
+def main():
+    pipeline = build_pipeline()
+    state, report = pipeline.run()
+    print(report.render())
+
+    print("\nforecast for the next hour (10-minute steps):")
+    for step, distribution in enumerate(state["distributions"],
+                                        start=1):
+        print(f"  +{10 * step:3d} min: mean {distribution.mean():6.1f}, "
+              f"95th pct {distribution.quantile(0.95):6.1f}")
+
+    print(f"\nscaling policies (capacity lead time: {10 * LEAD_STEPS} "
+          "minutes):")
+    header = (f"  {'policy':28s}{'violations':>12s}{'capacity':>10s}"
+              f"{'overprov':>10s}{'actions':>9s}")
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for name, result in state["policy_rows"]:
         print(f"  {name:28s}{result['violations']:12.3f}"
               f"{result['mean_capacity']:10.1f}"
               f"{result['mean_overprovision']:10.1f}"

@@ -71,14 +71,29 @@ def decide(state):
 
 
 def main():
+    # Each stage declares its contract: the state keys it reads and
+    # writes.  The engine resolves the contracts into a dependency
+    # DAG, runs contract-independent stages concurrently, and can
+    # replay unchanged stages from a StageCache across runs.
     pipeline = DecisionPipeline("traffic operations quickstart")
-    pipeline.add_data("collect", load_data)
-    pipeline.add_governance("impute", impute)
-    pipeline.add_analytics("forecast", forecast)
-    pipeline.add_decision("dispatch", decide)
+    pipeline.add_data("collect", load_data,
+                      reads=(), writes=("truth", "test", "observed"))
+    pipeline.add_governance("impute", impute,
+                            reads=("observed", "truth"),
+                            writes=("clean",))
+    pipeline.add_analytics("forecast", forecast,
+                           reads=("clean", "test"),
+                           writes=("forecast",))
+    pipeline.add_decision("dispatch", decide,
+                          reads=("forecast", "clean"),
+                          writes=("dispatch",))
 
     state, report = pipeline.run()
     print(report.render())
+    print()
+    print("resolved DAG:")
+    for stage, deps in pipeline.resolved_dag().items():
+        print(f"  {stage} <- {', '.join(deps) if deps else '(source)'}")
     print()
     print("Every stage is inspectable; drop one with "
           "pipeline.without_stage(name) to study its contribution "

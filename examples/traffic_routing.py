@@ -2,14 +2,19 @@
 
 Reproduces the paper's flagship example (§I): a taxi must reach the
 "airport" and the most "optimal" route depends on uncertainty and risk
-preference.  The script walks the full paradigm:
+preference.  The script builds the full paradigm as a
+:class:`DecisionPipeline` with declared stage contracts:
 
-1. **data** — simulate a GPS fleet over a road network,
-2. **governance** — map-match the noisy traces (fusion) and fit
-   edge-centric *and* path-centric travel-time distributions
-   (uncertainty quantification),
-3. **decision** — compare route choices under a deadline, three risk
-   profiles, and a two-objective (time/energy) skyline.
+1. **data** — simulate a GPS fleet over a road network and map-match
+   the noisy traces (fusion),
+2. **governance** — fit edge-centric *and* path-centric travel-time
+   distributions (uncertainty quantification); the two models declare
+   disjoint contracts, so the DAG scheduler fits them concurrently,
+3. **analytics** — enumerate candidate routes and their travel-time
+   distributions,
+4. **decision** — compare route choices under a deadline, three risk
+   profiles, a two-objective (time/energy) skyline, and an
+   eco-driving plan.
 
 Run with::
 
@@ -18,7 +23,7 @@ Run with::
 
 import numpy as np
 
-from repro import RoadNetwork
+from repro import DecisionPipeline, RoadNetwork
 from repro.datasets import TrafficSimulator, TrajectoryGenerator
 from repro.governance.fusion import HmmMapMatcher
 from repro.governance.uncertainty import (
@@ -27,6 +32,7 @@ from repro.governance.uncertainty import (
 )
 from repro.decision import (
     DeadlineUtility,
+    EcoDrivingPlanner,
     RiskAverseUtility,
     RiskNeutralUtility,
     SkylineRouter,
@@ -36,16 +42,12 @@ from repro.decision import (
 DEPARTURE = 8 * 60  # morning rush
 
 
-def build_world():
+def collect_fleet(state):
+    """data: simulate the world and a map-matched GPS fleet."""
     network = RoadNetwork.grid(6, 6)
     simulator = TrafficSimulator(
         network, sigma_correlated=0.35, sigma_independent=0.12,
         rng=np.random.default_rng(1))
-    return network, simulator
-
-
-def collect_fleet_data(network, simulator):
-    """Noisy GPS traces, map-matched back onto the network."""
     generator = TrajectoryGenerator(simulator,
                                     rng=np.random.default_rng(2))
     matcher = HmmMapMatcher(network, sigma=0.08, beta=0.5)
@@ -66,34 +68,49 @@ def collect_fleet_data(network, simulator):
         times = simulator.sample_edge_times(edges, DEPARTURE,
                                             rng=times_rng)
         trips.append((true_path, times, float(DEPARTURE)))
-    print(f"fleet: {len(raw)} trips, map matching recovered the route "
-          f"for {matched_ok / len(raw):.0%} of them")
-    return origin, destination, trips
+    state.update(network=network, simulator=simulator, origin=origin,
+                 destination=destination, trips=trips)
+    return (f"{len(raw)} trips, map matching recovered the route for "
+            f"{matched_ok / len(raw):.0%}")
 
 
-def main():
-    network, simulator = build_world()
-    origin, destination, trips = collect_fleet_data(network, simulator)
+def fit_edge_model(state):
+    """governance: edge-centric travel-time distributions."""
+    model = EdgeCentricModel().fit(state["trips"])
+    state["edge_model"] = model
+    return f"edge-centric model covers {model.n_edges} edges"
 
-    edge_model = EdgeCentricModel().fit(trips)
-    path_model = PathCentricModel(min_support=10,
-                                  max_subpath_edges=10).fit(trips)
-    print(f"uncertainty: edge-centric covers {edge_model.n_edges} edges; "
-          f"path-centric learned {path_model.n_subpaths} sub-paths")
 
-    router = StochasticRouter(network, path_model, n_candidates=8)
+def fit_path_model(state):
+    """governance: path-centric distributions (runs concurrently)."""
+    model = PathCentricModel(min_support=10,
+                             max_subpath_edges=10).fit(state["trips"])
+    state["path_model"] = model
+    return f"path-centric model learned {model.n_subpaths} sub-paths"
+
+
+def candidate_routes(state):
+    """analytics: candidate routes + their cost distributions."""
+    router = StochasticRouter(state["network"], state["path_model"],
+                              n_candidates=8)
     mean_path, mean_dist = router.mean_cost_route(
-        origin, destination, departure_minute=DEPARTURE)
-    print(f"\nfastest-on-average route: mean {mean_dist.mean():.1f} min, "
-          f"std {mean_dist.std():.1f} min")
+        state["origin"], state["destination"],
+        departure_minute=DEPARTURE)
+    state.update(router=router, mean_path=mean_path,
+                 mean_dist=mean_dist)
+    return (f"fastest-on-average route: mean {mean_dist.mean():.1f} "
+            f"min, std {mean_dist.std():.1f} min")
 
-    # Decision under uncertainty: deadline + risk profiles.
+
+def risk_profiles(state):
+    """decision: deadline + three risk preferences."""
+    router, mean_dist = state["router"], state["mean_dist"]
     deadline = mean_dist.quantile(0.85)
     path, probability = router.on_time_route(
-        origin, destination, deadline, departure_minute=DEPARTURE)
-    print(f"deadline {deadline:.1f} min -> best on-time route has "
-          f"P(on time) = {probability:.2f}")
-
+        state["origin"], state["destination"], deadline,
+        departure_minute=DEPARTURE)
+    lines = [f"deadline {deadline:.1f} min -> best on-time route has "
+             f"P(on time) = {probability:.2f}"]
     for label, utility in [
         ("risk-neutral", RiskNeutralUtility()),
         ("risk-averse ", RiskAverseUtility(aversion=2.0,
@@ -101,12 +118,18 @@ def main():
         ("deadline    ", DeadlineUtility(deadline)),
     ]:
         chosen, distribution, _ = router.best_path(
-            origin, destination, utility, departure_minute=DEPARTURE)
-        print(f"  {label}: mean {distribution.mean():5.1f} min, "
-              f"std {distribution.std():4.1f} min, "
-              f"{len(chosen) - 1} edges")
+            state["origin"], state["destination"], utility,
+            departure_minute=DEPARTURE)
+        lines.append(f"  {label}: mean {distribution.mean():5.1f} min, "
+                     f"std {distribution.std():4.1f} min, "
+                     f"{len(chosen) - 1} edges")
+    state["profile_lines"] = lines
+    return f"compared 3 risk profiles against deadline {deadline:.1f} min"
 
-    # Multi-objective: expose the time/energy trade-off.
+
+def time_energy_skyline(state):
+    """decision: multi-objective route skyline (annotates the network)."""
+    network, simulator = state["network"], state["simulator"]
     rng = np.random.default_rng(4)
     for u, v in network.edges():
         length = network.edge_length(u, v)
@@ -115,25 +138,74 @@ def main():
         network.set_edge_attribute(u, v, "energy",
                                    length * rng.uniform(0.6, 1.6))
     skyline = SkylineRouter(network, ["time", "energy"],
-                            max_labels=32).skyline(origin, (3, 3))
-    print(f"\ntime/energy skyline to the depot: "
-          f"{len(skyline)} non-dominated routes")
-    for route, cost in sorted(skyline, key=lambda item: item[1][0]):
-        print(f"  time {cost[0]:5.2f}  energy {cost[1]:5.2f}  "
-              f"({len(route) - 1} edges)")
+                            max_labels=32).skyline(state["origin"],
+                                                   (3, 3))
+    state["skyline"] = sorted(skyline, key=lambda item: item[1][0])
+    return f"{len(skyline)} non-dominated time/energy routes to the depot"
 
-    # Eco-driving along the chosen route: spend deadline slack on fuel.
-    from repro.decision import EcoDrivingPlanner
 
+def eco_driving(state):
+    """decision: spend deadline slack on fuel along the chosen route."""
+    network = state["network"]
     segments = [
         (10 * network.edge_length(u, v), 110.0)
-        for u, v in network.path_edges(mean_path)
+        for u, v in network.path_edges(state["mean_path"])
     ]
     planner = EcoDrivingPlanner()
     hurried = planner.baseline_at_limits(segments)
     saved, eco, _ = planner.savings(segments,
                                     hurried["travel_time"] * 1.25)
-    print(f"\neco-driving the chosen route with 25% time slack:")
+    state["eco"] = (hurried, eco, saved)
+    return f"eco plan saves {saved:.0%} fuel with 25% time slack"
+
+
+def build_pipeline():
+    pipeline = DecisionPipeline("autonomous taxi routing")
+    pipeline.add_data(
+        "fleet", collect_fleet, reads=(),
+        writes=("network", "simulator", "origin", "destination",
+                "trips"))
+    pipeline.add_governance(
+        "edge_model", fit_edge_model,
+        reads=("trips",), writes=("edge_model",))
+    pipeline.add_governance(
+        "path_model", fit_path_model,
+        reads=("trips",), writes=("path_model",))
+    pipeline.add_analytics(
+        "routes", candidate_routes,
+        reads=("network", "path_model", "origin", "destination"),
+        writes=("router", "mean_path", "mean_dist"))
+    pipeline.add_decision(
+        "risk_profiles", risk_profiles,
+        reads=("router", "mean_dist", "origin", "destination",
+               "network"),
+        writes=("profile_lines",))
+    pipeline.add_decision(
+        "skyline", time_energy_skyline,
+        reads=("network", "simulator", "origin"),
+        writes=("skyline", "network"))
+    pipeline.add_decision(
+        "eco_driving", eco_driving,
+        reads=("network", "mean_path"), writes=("eco",))
+    return pipeline
+
+
+def main():
+    pipeline = build_pipeline()
+    state, report = pipeline.run()
+    print(report.render())
+
+    print("\ndecision under uncertainty:")
+    for line in state["profile_lines"]:
+        print(f"  {line}")
+
+    print("\ntime/energy skyline to the depot:")
+    for route, cost in state["skyline"]:
+        print(f"  time {cost[0]:5.2f}  energy {cost[1]:5.2f}  "
+              f"({len(route) - 1} edges)")
+
+    hurried, eco, saved = state["eco"]
+    print("\neco-driving the chosen route with 25% time slack:")
     print(f"  at the limits: {hurried['fuel']:8.1f} fuel, "
           f"{hurried['travel_time']:.2f} h")
     print(f"  eco plan:      {eco['fuel']:8.1f} fuel, "

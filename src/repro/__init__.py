@@ -25,7 +25,13 @@ from . import (
     decision,
     governance,
 )
-from .core import DecisionPipeline
+from .core import (
+    CollectingTracer,
+    ContractViolation,
+    DecisionPipeline,
+    StageCache,
+    StageFailure,
+)
 from .datatypes import (
     CorrelatedTimeSeries,
     GpsPoint,
@@ -38,9 +44,13 @@ from .datatypes import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CollectingTracer",
+    "ContractViolation",
     "CorrelatedTimeSeries",
     "DecisionPipeline",
     "GpsPoint",
+    "StageCache",
+    "StageFailure",
     "ImageSequence",
     "RoadNetwork",
     "TimeSeries",

@@ -85,10 +85,16 @@ def _command_demo():
         return f"dispatch to sensors {sorted(int(i) for i in slowest)}"
 
     pipeline = DecisionPipeline("python -m repro demo")
-    pipeline.add_data("collect", load)
-    pipeline.add_governance("impute", impute)
-    pipeline.add_analytics("forecast", forecast)
-    pipeline.add_decision("dispatch", decide)
+    pipeline.add_data("collect", load,
+                      reads=(), writes=("truth", "test", "observed"))
+    pipeline.add_governance("impute", impute,
+                            reads=("observed", "truth"),
+                            writes=("clean",))
+    pipeline.add_analytics("forecast", forecast,
+                           reads=("clean", "test"),
+                           writes=("forecast",))
+    pipeline.add_decision("dispatch", decide,
+                          reads=("forecast",), writes=())
     _, report = pipeline.run()
     print(report.render())
     return 0

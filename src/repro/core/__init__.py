@@ -1,7 +1,24 @@
-"""The paradigm of Figure 1: a composable, self-documenting
-Data-Governance-Analytics-Decision pipeline."""
+"""The paradigm of Figure 1 as an execution engine: a DAG-scheduled,
+contract-checked, cache-aware Data-Governance-Analytics-Decision
+pipeline with structured observability."""
 
+from .cache import StageCache
+from .events import CollectingTracer, PrintTracer, StageEvent, Tracer
 from .pipeline import DecisionPipeline
 from .report import RunReport, StageRecord
+from .stage import ANY, ContractViolation, Stage, StageFailure
 
-__all__ = ["DecisionPipeline", "RunReport", "StageRecord"]
+__all__ = [
+    "ANY",
+    "CollectingTracer",
+    "ContractViolation",
+    "DecisionPipeline",
+    "PrintTracer",
+    "RunReport",
+    "Stage",
+    "StageCache",
+    "StageEvent",
+    "StageFailure",
+    "StageRecord",
+    "Tracer",
+]

@@ -1,0 +1,209 @@
+"""Content-keyed stage-result cache.
+
+A stage's cache key is a digest of everything that determines its
+output: its name and layer, a fingerprint of its function's code and
+closure, its declared contract, the cache keys of its *data*
+dependencies (recursively, so the key encodes the whole upstream
+cone), and a content fingerprint of any read keys that come straight
+from the initial state.
+
+That construction gives the reuse the E1 ablation needs for free:
+removing a stage with :meth:`DecisionPipeline.without_stage` leaves
+the keys of every stage outside the removed stage's downstream cone
+unchanged, so a rerun against the same :class:`StageCache` replays
+those stages from their stored state deltas and only re-executes the
+cone.
+
+Only stages with *declared* contracts participate — a wildcard stage
+has no enumerable inputs to fingerprint, and anything data-dependent
+on an uncacheable stage is itself uncacheable.  Values that resist
+fingerprinting (unpicklable objects without a stable byte form)
+silently exclude the stage from caching rather than risking a stale
+hit.  Cached deltas are replayed by reference: treat cached state
+values as immutable across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import threading
+
+from . import dag as _dag
+from .stage import ANY
+
+__all__ = ["StageCache", "Unfingerprintable", "fingerprint", "stage_keys"]
+
+_ABSENT = "<absent>"
+
+
+class Unfingerprintable(TypeError):
+    """A value has no stable content fingerprint; skip caching."""
+
+
+def _update(digest, value, _depth=0):
+    if _depth > 16:
+        raise Unfingerprintable("fingerprint recursion too deep")
+    # numpy arrays: dtype + shape + raw bytes, no pickling overhead.
+    tobytes = getattr(value, "tobytes", None)
+    dtype = getattr(value, "dtype", None)
+    if callable(tobytes) and dtype is not None:
+        digest.update(b"ndarray")
+        digest.update(str(dtype).encode())
+        digest.update(repr(getattr(value, "shape", ())).encode())
+        digest.update(value.tobytes())
+        return
+    if value is None or isinstance(value, (bool, int, float, complex,
+                                           str)):
+        digest.update(type(value).__name__.encode())
+        digest.update(repr(value).encode())
+        return
+    if isinstance(value, (bytes, bytearray)):
+        digest.update(b"bytes")
+        digest.update(bytes(value))
+        return
+    if isinstance(value, (list, tuple)):
+        digest.update(type(value).__name__.encode())
+        for item in value:
+            _update(digest, item, _depth + 1)
+        return
+    if isinstance(value, dict):
+        digest.update(b"dict")
+        try:
+            items = sorted(value.items())
+        except TypeError:
+            items = list(value.items())
+        for key, item in items:
+            _update(digest, key, _depth + 1)
+            _update(digest, item, _depth + 1)
+        return
+    if isinstance(value, (set, frozenset)):
+        digest.update(b"set")
+        for item in sorted(value, key=repr):
+            _update(digest, item, _depth + 1)
+        return
+    # Arbitrary objects: pickle is content-stable for the numpy-backed
+    # datatypes this library passes between stages.
+    try:
+        digest.update(b"pickle")
+        digest.update(pickle.dumps(value, protocol=4))
+    except Exception as exc:
+        raise Unfingerprintable(
+            f"cannot fingerprint {type(value).__name__}"
+        ) from exc
+
+
+def fingerprint(value):
+    """Hex digest of a value's content; raises :class:`Unfingerprintable`."""
+    digest = hashlib.sha256()
+    _update(digest, value)
+    return digest.hexdigest()
+
+
+def _function_fingerprint(function):
+    """Digest of a callable's behavior: code, constants and closure."""
+    digest = hashlib.sha256()
+    code = getattr(function, "__code__", None)
+    if code is not None:
+        digest.update(code.co_code)
+        _update(digest, repr(code.co_consts))
+        _update(digest, repr(code.co_names))
+        closure = getattr(function, "__closure__", None) or ()
+        for cell in closure:
+            _update(digest, cell.cell_contents)
+        defaults = getattr(function, "__defaults__", None) or ()
+        for value in defaults:
+            _update(digest, value)
+        return digest.hexdigest()
+    # Callable objects / builtins: pickle or give up.
+    _update(digest, function)
+    return digest.hexdigest()
+
+
+def stage_keys(stages, deps, initial_state):
+    """Per-stage cache keys, ``None`` where the stage is uncacheable.
+
+    Must be called with the run's *initial* state, before any stage
+    mutates it — external reads are fingerprinted from it.
+    """
+    data_deps = _dag.data_dependencies(stages, deps)
+    keys = []
+    for j, stage in enumerate(stages):
+        if stage.reads is ANY or stage.writes is ANY:
+            keys.append(None)
+            continue
+        upstream = [keys[i] for i in sorted(data_deps[j])]
+        if any(key is None for key in upstream):
+            keys.append(None)
+            continue
+        digest = hashlib.sha256()
+        digest.update(stage.layer.encode())
+        digest.update(stage.name.encode())
+        digest.update(repr(sorted(stage.reads)).encode())
+        digest.update(repr(sorted(stage.writes)).encode())
+        for key in upstream:
+            digest.update(key.encode())
+        try:
+            digest.update(_function_fingerprint(stage.function).encode())
+            for read in sorted(_dag.external_reads(stages, deps, j)):
+                digest.update(read.encode())
+                value = initial_state.get(read, _ABSENT)
+                digest.update(fingerprint(value).encode())
+        except Unfingerprintable:
+            keys.append(None)
+            continue
+        keys.append(digest.hexdigest())
+    return keys
+
+
+class CacheEntry:
+    """A stored stage outcome: summary, details and the state delta."""
+
+    __slots__ = ("summary", "details", "delta")
+
+    def __init__(self, summary, details, delta):
+        self.summary = summary
+        self.details = dict(details)
+        self.delta = dict(delta)
+
+
+class StageCache:
+    """Thread-safe in-memory store of stage results across runs.
+
+    Pass one instance to several :meth:`DecisionPipeline.run` calls
+    (including runs of ``without_stage`` copies) to reuse results
+    whose whole upstream cone is unchanged.
+    """
+
+    def __init__(self):
+        self._entries = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def store(self, key, summary, details, delta):
+        with self._lock:
+            self._entries[key] = CacheEntry(summary, details, delta)
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self):
+        return (f"StageCache(entries={len(self)}, hits={self.hits}, "
+                f"misses={self.misses})")

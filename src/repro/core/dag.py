@@ -1,0 +1,106 @@
+"""Dependency resolution: stage contracts -> an execution DAG.
+
+Stages are ordered layer-major (data, governance, analytics,
+decision; insertion order within a layer), and a stage depends on an
+*earlier* stage whenever their contracts can touch a common key:
+
+* read-after-write — the earlier stage writes a key this one reads,
+* write-after-read — this one overwrites a key the earlier one reads,
+* write-after-write — both write the same key.
+
+Because edges only ever point backwards in layer-major order, the
+result is a DAG by construction and cross-layer ordering is
+preserved wherever contracts actually interact: a decision stage can
+never observe a governance key before the governance stage that
+produces it has run.  Wildcard (undeclared) contracts conflict with
+everything, so legacy pipelines resolve to a chain — the old
+sequential semantics, unchanged.
+"""
+
+from __future__ import annotations
+
+from .stage import ANY, contracts_overlap
+
+__all__ = [
+    "resolve_dependencies",
+    "data_dependencies",
+    "external_reads",
+    "is_chain",
+    "critical_path_seconds",
+]
+
+
+def resolve_dependencies(stages):
+    """Per-stage dependency index sets over the layer-major order.
+
+    Returns a list ``deps`` where ``deps[j]`` is the set of indices
+    ``i < j`` that stage ``j`` must wait for.
+    """
+    deps = [set() for _ in stages]
+    for j, later in enumerate(stages):
+        for i in range(j):
+            earlier = stages[i]
+            if (contracts_overlap(earlier.writes, later.reads)
+                    or contracts_overlap(earlier.reads, later.writes)
+                    or contracts_overlap(earlier.writes, later.writes)):
+                deps[j].add(i)
+    return deps
+
+
+def data_dependencies(stages, deps):
+    """The subset of ``deps`` that actually feeds each stage's inputs.
+
+    Anti- (write-after-read) and output- (write-after-write) edges
+    order execution but do not change what a stage *consumes*, so the
+    cache keys stages on read-after-write edges only: ``i`` is a data
+    dependency of ``j`` iff ``i in deps[j]`` and ``i`` writes a key
+    ``j`` reads.
+    """
+    data_deps = []
+    for j, stage in enumerate(stages):
+        data_deps.append({
+            i for i in deps[j]
+            if contracts_overlap(stages[i].writes, stage.reads)
+        })
+    return data_deps
+
+
+def external_reads(stages, deps, index):
+    """Read keys of stage ``index`` not written by any dependency.
+
+    These keys come from the run's initial state; the cache
+    fingerprints their values.  Only meaningful for stages with
+    declared reads.
+    """
+    stage = stages[index]
+    if stage.reads is ANY:
+        raise ValueError("external_reads requires declared reads")
+    provided = set()
+    for i in deps[index]:
+        if stages[i].writes is not ANY:
+            provided |= stages[i].writes
+    return frozenset(stage.reads - provided)
+
+
+def is_chain(deps):
+    """Whether the DAG forces strictly sequential execution.
+
+    True when every stage depends on its immediate predecessor —
+    the shape every legacy (wildcard-contract) pipeline resolves to.
+    The scheduler then skips the thread pool entirely.
+    """
+    return all(j - 1 in deps[j] for j in range(1, len(deps)))
+
+
+def critical_path_seconds(durations, deps):
+    """Length of the longest duration-weighted path through the DAG.
+
+    The lower bound on wall-clock time with unlimited parallelism;
+    the report contrasts it with the observed wall clock and the
+    sequential sum.
+    """
+    longest = [0.0] * len(durations)
+    for j in range(len(durations)):
+        upstream = max((longest[i] for i in deps[j]), default=0.0)
+        longest[j] = upstream + float(durations[j])
+    return max(longest, default=0.0)

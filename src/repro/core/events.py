@@ -1,0 +1,119 @@
+"""Observability: structured run events and the tracer protocol.
+
+The engine narrates a run as a stream of :class:`StageEvent` objects
+— ``run_start``, ``stage_start``, ``stage_end``, ``stage_error``,
+``stage_retry``, ``stage_skip``, ``stage_fallback``, ``cache_hit``,
+``run_end`` — delivered to an opt-in *tracer*: any object with an
+``on_event(event)`` method (duck-typed; subclassing is optional).
+Tracer exceptions are swallowed so a broken observer cannot take the
+pipeline down with it.
+
+Two tracers ship with the library: :class:`CollectingTracer` buffers
+events for inspection (tests, dashboards) and :class:`PrintTracer`
+streams one line per event (live debugging).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = [
+    "EVENT_KINDS",
+    "StageEvent",
+    "Tracer",
+    "CollectingTracer",
+    "PrintTracer",
+    "emit",
+]
+
+EVENT_KINDS = (
+    "run_start",
+    "stage_start",
+    "stage_end",
+    "stage_error",
+    "stage_retry",
+    "stage_skip",
+    "stage_fallback",
+    "cache_hit",
+    "run_end",
+)
+
+
+class StageEvent:
+    """One engine event: what happened, to which stage, when."""
+
+    __slots__ = ("kind", "stage", "layer", "timestamp", "data")
+
+    def __init__(self, kind, stage=None, layer=None, **data):
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"kind must be one of {EVENT_KINDS}, got {kind!r}"
+            )
+        self.kind = kind
+        self.stage = stage
+        self.layer = layer
+        self.timestamp = time.time()
+        self.data = data
+
+    def __repr__(self):
+        where = f" {self.layer}/{self.stage}" if self.stage else ""
+        extra = f" {self.data}" if self.data else ""
+        return f"StageEvent({self.kind}{where}{extra})"
+
+
+class Tracer:
+    """The tracer protocol: override :meth:`on_event`.
+
+    Any object with a compatible ``on_event`` works; this base class
+    just documents the contract and provides a no-op default.
+    """
+
+    def on_event(self, event):  # pragma: no cover - trivial default
+        pass
+
+
+class CollectingTracer(Tracer):
+    """Buffers every event; thread-safe."""
+
+    def __init__(self):
+        self.events = []
+        self._lock = threading.Lock()
+
+    def on_event(self, event):
+        with self._lock:
+            self.events.append(event)
+
+    def kinds(self):
+        """The event kinds seen, in arrival order."""
+        with self._lock:
+            return [event.kind for event in self.events]
+
+    def of_kind(self, kind):
+        with self._lock:
+            return [event for event in self.events if event.kind == kind]
+
+
+class PrintTracer(Tracer):
+    """Streams one line per event to ``stream`` (default stdout)."""
+
+    def __init__(self, stream=None):
+        self._stream = stream
+
+    def on_event(self, event):
+        import sys
+
+        stream = self._stream or sys.stdout
+        where = f" {event.layer}/{event.stage}" if event.stage else ""
+        extra = "".join(f" {k}={v}" for k, v in event.data.items())
+        print(f"[{event.kind}]{where}{extra}", file=stream)
+
+
+def emit(tracer, kind, stage=None, layer=None, **data):
+    """Deliver an event to the tracer, swallowing observer errors."""
+    if tracer is None:
+        return
+    try:
+        tracer.on_event(StageEvent(kind, stage, layer, **data))
+    except Exception:
+        pass

@@ -4,25 +4,38 @@ The paper's contribution is the *paradigm*: raw multi-modal data flows
 through data governance (quality repair, uncertainty quantification,
 fusion), then analytics (forecasting, detection, classification), and
 finally a decision strategy picks an action.  :class:`DecisionPipeline`
-makes that flow a first-class, inspectable object:
+makes that flow a first-class, inspectable object — and, since the
+engine refactor, an *executable DAG*:
 
-* stages are named functions attached to one of the four layers;
-* a run threads a shared *state* dict through the stages in layer
-  order (data → governance → analytics → decision);
-* every stage's summary and wall time land in a :class:`RunReport`,
-  so a run documents itself.
+* stages are named functions attached to one of the four layers,
+  optionally carrying a contract of the state keys they ``reads`` /
+  ``writes`` (see :mod:`repro.core.stage`);
+* the dependency resolver (:mod:`repro.core.dag`) turns overlapping
+  contracts into edges, and the scheduler
+  (:mod:`repro.core.scheduler`) runs contract-independent stages
+  concurrently while contracts preserve layer-ordering semantics;
+* per-stage failure policies (``fail`` / ``skip`` / ``fallback``)
+  with bounded retries keep one bad stage from killing a run;
+* an optional content-keyed :class:`~repro.core.cache.StageCache`
+  replays unchanged stages across runs, so the E1 ablation
+  (``without_stage``) only re-executes the removed stage's
+  downstream cone;
+* every stage's summary, wall time, status and cache provenance land
+  in a :class:`RunReport`, and an opt-in tracer streams structured
+  events, so a run documents itself.
 
-The examples build concrete pipelines (traffic routing, autoscaling)
-out of the library's components; experiment E1 measures how much each
-governance stage contributes to final decision quality by toggling
-stages off.
+Stages that declare no contract behave exactly as before the
+refactor: they conflict with everything, resolve to a chain, and run
+sequentially in layer order.
 """
 
 from __future__ import annotations
 
-import time
-
+from . import dag as _dag
+from .events import emit
 from .report import RunReport
+from .scheduler import DagScheduler
+from .stage import Stage
 
 __all__ = ["DecisionPipeline"]
 
@@ -30,9 +43,10 @@ __all__ = ["DecisionPipeline"]
 class DecisionPipeline:
     """Composable realization of the paper's Figure 1.
 
-    Stage functions receive the mutable ``state`` dict and return
-    either a summary string or a ``(summary, details_dict)`` pair.
-    They communicate by reading and writing ``state`` entries.
+    Stage functions receive the (contract-checked) mutable state
+    mapping and return either a summary string or a
+    ``(summary, details_dict)`` pair.  They communicate by reading
+    and writing state entries.
     """
 
     _LAYERS = ("data", "governance", "analytics", "decision")
@@ -43,77 +57,138 @@ class DecisionPipeline:
 
     # -- construction -------------------------------------------------------
 
-    def add_stage(self, layer, name, function):
-        """Attach a stage to a layer; returns ``self`` for chaining."""
+    def add_stage(self, layer, name, function, *, reads=None,
+                  writes=None, on_error="fail", fallback=None,
+                  retries=0):
+        """Attach a stage to a layer; returns ``self`` for chaining.
+
+        ``reads`` / ``writes`` declare the stage's contract (iterables
+        of state keys); omitting them keeps the legacy "touches
+        everything" wildcard, which degrades that stage — and
+        everything ordered around it — to sequential execution.
+        ``on_error`` ∈ {"fail", "skip", "fallback"} and ``retries``
+        set the failure policy; ``fallback`` is the substitute
+        callable for ``on_error="fallback"``.
+        """
         if layer not in self._LAYERS:
             raise ValueError(
                 f"layer must be one of {self._LAYERS}, got {layer!r}"
             )
-        if not callable(function):
-            raise TypeError("function must be callable")
-        self._stages[layer].append((str(name), function))
+        stage = Stage(layer, name, function, reads=reads, writes=writes,
+                      on_error=on_error, fallback=fallback,
+                      retries=retries)
+        if stage.name in self.stage_names:
+            raise ValueError(
+                f"duplicate stage name {stage.name!r}; stage names "
+                "must be unique so without_stage() and reports are "
+                "unambiguous"
+            )
+        self._stages[layer].append(stage)
         return self
 
-    def add_data(self, name, function):
-        return self.add_stage("data", name, function)
+    def add_data(self, name, function, **kwargs):
+        return self.add_stage("data", name, function, **kwargs)
 
-    def add_governance(self, name, function):
-        return self.add_stage("governance", name, function)
+    def add_governance(self, name, function, **kwargs):
+        return self.add_stage("governance", name, function, **kwargs)
 
-    def add_analytics(self, name, function):
-        return self.add_stage("analytics", name, function)
+    def add_analytics(self, name, function, **kwargs):
+        return self.add_stage("analytics", name, function, **kwargs)
 
-    def add_decision(self, name, function):
-        return self.add_stage("decision", name, function)
+    def add_decision(self, name, function, **kwargs):
+        return self.add_stage("decision", name, function, **kwargs)
 
     def without_stage(self, name):
         """A copy of the pipeline with the named stage removed.
 
-        The ablation device of experiment E1: rerun the pipeline with a
-        governance stage switched off and compare decision quality.
+        The ablation device of experiment E1: rerun the pipeline with
+        a governance stage switched off and compare decision quality.
+        Run both pipelines against the same
+        :class:`~repro.core.cache.StageCache` and only the removed
+        stage's downstream cone re-executes.
         """
         copy = DecisionPipeline(title=f"{self.title} (without {name})")
         found = False
         for layer in self._LAYERS:
-            for stage_name, function in self._stages[layer]:
-                if stage_name == name:
+            for stage in self._stages[layer]:
+                if stage.name == name:
                     found = True
                     continue
-                copy._stages[layer].append((stage_name, function))
+                copy._stages[layer].append(stage)
         if not found:
             raise KeyError(f"no stage named {name!r}")
         return copy
 
     @property
     def stage_names(self):
-        return [
-            name
-            for layer in self._LAYERS
-            for name, _ in self._stages[layer]
-        ]
+        return [stage.name for stage in self._ordered_stages()]
+
+    def _ordered_stages(self):
+        """All stages in layer-major order (the DAG's topological base)."""
+        return [stage
+                for layer in self._LAYERS
+                for stage in self._stages[layer]]
+
+    def resolved_dag(self):
+        """The dependency DAG as ``{stage: (dep, ...)}`` over names."""
+        stages = self._ordered_stages()
+        deps = _dag.resolve_dependencies(stages)
+        return {
+            stage.name: tuple(stages[i].name for i in sorted(deps[j]))
+            for j, stage in enumerate(stages)
+        }
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, initial_state=None):
-        """Execute all stages in layer order.
+    def run(self, initial_state=None, *, cache=None, tracer=None,
+            max_workers=None):
+        """Execute the stage DAG.
+
+        Parameters
+        ----------
+        initial_state:
+            Seed state entries (copied; the caller's dict is never
+            mutated).
+        cache:
+            Optional :class:`~repro.core.cache.StageCache`; stages
+            with declared contracts replay from it when their whole
+            upstream cone is unchanged.
+        tracer:
+            Optional observer with an ``on_event(event)`` method; see
+            :mod:`repro.core.events`.
+        max_workers:
+            Thread-pool width for concurrent stages (default: one
+            slot per stage, capped at 32).
 
         Returns
         -------
         (dict, RunReport)
             The final state and the run's audit report.
+
+        Raises
+        ------
+        StageFailure
+            When a ``fail``-policy stage exhausts its retries; the
+            exception carries the partial ``report`` and ``state``.
         """
-        if not any(self._stages.values()):
+        stages = self._ordered_stages()
+        if not stages:
             raise RuntimeError("pipeline has no stages")
         state = dict(initial_state or {})
+        deps = _dag.resolve_dependencies(stages)
         report = RunReport(title=self.title)
-        for layer in self._LAYERS:
-            for name, function in self._stages[layer]:
-                started = time.perf_counter()
-                outcome = function(state)
-                elapsed = time.perf_counter() - started
-                if isinstance(outcome, tuple):
-                    summary, details = outcome
-                else:
-                    summary, details = outcome, {}
-                report.add(layer, name, summary, elapsed, **details)
+        report.set_dag([
+            (stage.name, tuple(stages[i].name for i in sorted(deps[j])))
+            for j, stage in enumerate(stages)
+        ])
+        emit(tracer, "run_start", stages=len(stages))
+        scheduler = DagScheduler(max_workers=max_workers)
+        try:
+            scheduler.execute(stages, deps, state, report,
+                              cache=cache, tracer=tracer)
+        finally:
+            report.finish()
+            emit(tracer, "run_end",
+                 wall_seconds=report.wall_seconds,
+                 cache_hits=report.cache_hits)
         return state, report

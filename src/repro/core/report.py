@@ -3,31 +3,56 @@
 The paradigm of Figure 1 is a *process*; a run of it should leave an
 audit trail — which governance steps ran, what the analytics produced,
 what the decision was and why.  :class:`RunReport` is that trail: an
-ordered list of stage records with a compact textual rendering.
+ordered list of stage records plus the engine's execution story — the
+resolved DAG, per-stage status / retries / cache hits, and the three
+timings that characterize a scheduled run:
+
+* ``total_seconds`` — the sum of stage durations (sequential cost),
+* ``wall_seconds`` — observed wall-clock time of the whole run,
+* ``critical_path_seconds`` — the DAG's longest duration-weighted
+  path, the lower bound with unlimited parallelism.
 """
 
 from __future__ import annotations
 
 import time
 
+from .dag import critical_path_seconds as _critical_path
+
 __all__ = ["StageRecord", "RunReport"]
+
+_STATUSES = ("ok", "failed", "skipped", "fallback")
 
 
 class StageRecord:
     """One pipeline stage's outcome."""
 
     def __init__(self, layer, name, summary, duration_seconds,
-                 details=None):
+                 details=None, *, status="ok", retries=0,
+                 cache_hit=False, error=None):
+        if status not in _STATUSES:
+            raise ValueError(
+                f"status must be one of {_STATUSES}, got {status!r}"
+            )
         self.layer = str(layer)
         self.name = str(name)
         self.summary = str(summary)
         self.duration_seconds = float(duration_seconds)
         self.details = dict(details or {})
+        self.status = status
+        self.retries = int(retries)
+        self.cache_hit = bool(cache_hit)
+        self.error = error
 
     def __repr__(self):
+        flags = ""
+        if self.cache_hit:
+            flags += " cached"
+        if self.status != "ok":
+            flags += f" {self.status}"
         return (
             f"StageRecord({self.layer}/{self.name}: {self.summary} "
-            f"[{self.duration_seconds:.3f}s])"
+            f"[{self.duration_seconds:.3f}s{flags}])"
         )
 
 
@@ -39,17 +64,31 @@ class RunReport:
     def __init__(self, title="pipeline run"):
         self.title = str(title)
         self.records = []
+        self.dag = []
         self._started = time.perf_counter()
+        self._finished = None
 
-    def add(self, layer, name, summary, duration_seconds, **details):
+    def add(self, layer, name, summary, duration_seconds, *,
+            status="ok", retries=0, cache_hit=False, error=None,
+            **details):
         if layer not in self._LAYERS:
             raise ValueError(
                 f"layer must be one of {self._LAYERS}, got {layer!r}"
             )
         record = StageRecord(layer, name, summary, duration_seconds,
-                             details)
+                             details, status=status, retries=retries,
+                             cache_hit=cache_hit, error=error)
         self.records.append(record)
         return record
+
+    def set_dag(self, edges):
+        """Record the resolved DAG as ``(stage, (dep, ...))`` pairs."""
+        self.dag = [(str(name), tuple(deps)) for name, deps in edges]
+
+    def finish(self):
+        """Freeze the wall clock; called by the engine at run end."""
+        self._finished = time.perf_counter()
+        return self
 
     def stages(self, layer=None):
         """Records, optionally filtered to one layer."""
@@ -57,9 +96,53 @@ class RunReport:
             return list(self.records)
         return [r for r in self.records if r.layer == layer]
 
+    def record(self, name):
+        """The record of the named stage (first match)."""
+        for r in self.records:
+            if r.name == name:
+                return r
+        raise KeyError(f"no record for stage {name!r}")
+
+    # -- timings -------------------------------------------------------------
+
     @property
     def total_seconds(self):
+        """Summed stage durations — what a sequential run would cost."""
         return sum(r.duration_seconds for r in self.records)
+
+    @property
+    def wall_seconds(self):
+        """Observed wall-clock time from construction to ``finish()``."""
+        end = self._finished
+        if end is None:
+            end = time.perf_counter()
+        return end - self._started
+
+    @property
+    def critical_path_seconds(self):
+        """Longest duration-weighted path through the recorded DAG."""
+        if not self.dag:
+            return self.total_seconds
+        index = {name: i for i, (name, _) in enumerate(self.dag)}
+        durations = [0.0] * len(self.dag)
+        for r in self.records:
+            if r.name in index:
+                durations[index[r.name]] = r.duration_seconds
+        deps = [
+            {index[d] for d in dep_names if d in index}
+            for _, dep_names in self.dag
+        ]
+        return _critical_path(durations, deps)
+
+    # -- engine counters -----------------------------------------------------
+
+    @property
+    def cache_hits(self):
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def total_retries(self):
+        return sum(r.retries for r in self.records)
 
     def render(self):
         """Human-readable multi-line summary."""
@@ -70,11 +153,28 @@ class RunReport:
                 continue
             lines.append(f"[{layer}]")
             for record in records:
+                flags = []
+                if record.cache_hit:
+                    flags.append("cached")
+                if record.retries:
+                    flags.append(f"{record.retries} retries")
+                if record.status != "ok":
+                    flags.append(record.status)
+                suffix = f" [{', '.join(flags)}]" if flags else ""
                 lines.append(
                     f"  {record.name}: {record.summary} "
-                    f"({record.duration_seconds:.3f}s)"
+                    f"({record.duration_seconds:.3f}s){suffix}"
                 )
-        lines.append(f"total stage time: {self.total_seconds:.3f}s")
+        lines.append(
+            f"total stage time: {self.total_seconds:.3f}s | "
+            f"wall clock: {self.wall_seconds:.3f}s | "
+            f"critical path: {self.critical_path_seconds:.3f}s"
+        )
+        if self.cache_hits or self.total_retries:
+            lines.append(
+                f"cache hits: {self.cache_hits} | "
+                f"retries: {self.total_retries}"
+            )
         return "\n".join(lines)
 
     def __repr__(self):

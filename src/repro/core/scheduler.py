@@ -1,0 +1,220 @@
+"""The DAG scheduler: concurrent stage execution with failure policies.
+
+Given stages and their resolved dependencies, the scheduler runs
+every stage whose dependencies are satisfied, fanning independent
+stages out over a ``ThreadPoolExecutor``.  The library's stages are
+numpy-heavy (GIL-releasing) or I/O-bound, so threads buy real
+wall-clock parallelism without pickling state between processes.
+
+Chain-shaped DAGs — which every legacy wildcard-contract pipeline
+resolves to — are detected and executed inline in the calling
+thread: identical semantics to the old for-loop, zero pool overhead.
+
+Per-stage failure handling:
+
+* ``retries=N`` re-invokes the stage up to N extra times,
+* then the stage's policy applies: ``fail`` aborts the run (raising
+  :class:`StageFailure` carrying the partial report), ``skip``
+  records the error and lets the rest of the DAG proceed,
+  ``fallback`` runs the stage's fallback callable instead.
+
+:class:`ContractViolation` is never retried or absorbed by a policy:
+a stage touching undeclared state is a programming error, and hiding
+it would poison every scheduling decision built on the contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+
+from . import cache as _cache
+from . import dag as _dag
+from .events import emit
+from .stage import ContractViolation, StageFailure, _ContractView
+
+__all__ = ["DagScheduler"]
+
+
+class DagScheduler:
+    """Executes a resolved stage DAG against a shared state dict."""
+
+    def __init__(self, max_workers=None):
+        self.max_workers = max_workers
+
+    def execute(self, stages, deps, state, report, *, cache=None,
+                tracer=None):
+        """Run all stages; mutates ``state`` and ``report`` in place."""
+        lock = threading.RLock()
+        keys = (_cache.stage_keys(stages, deps, state)
+                if cache is not None else [None] * len(stages))
+        run = _StageRunner(stages, state, report, lock, cache, keys,
+                           tracer)
+        if len(stages) <= 1 or _dag.is_chain(deps):
+            for index in range(len(stages)):
+                run(index)
+            return
+        self._execute_concurrent(stages, deps, run)
+
+    def _execute_concurrent(self, stages, deps, run):
+        n = len(stages)
+        remaining = [len(d) for d in deps]
+        dependents = [[] for _ in range(n)]
+        for j, dep_set in enumerate(deps):
+            for i in dep_set:
+                dependents[i].append(j)
+        failure = None
+        workers = self.max_workers or min(32, n)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(run, i): i
+                for i in range(n) if remaining[i] == 0
+            }
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures.pop(future)
+                    error = future.exception()
+                    if error is not None and failure is None:
+                        failure = error  # stop scheduling new stages
+                    for j in dependents[index]:
+                        remaining[j] -= 1
+                        if remaining[j] == 0 and failure is None:
+                            futures[pool.submit(run, j)] = j
+        if failure is not None:
+            raise failure
+
+
+class _StageRunner:
+    """Executes one stage: cache lookup, retries, failure policy."""
+
+    def __init__(self, stages, state, report, lock, cache, keys,
+                 tracer):
+        self._stages = stages
+        self._state = state
+        self._report = report
+        self._lock = lock
+        self._cache = cache
+        self._keys = keys
+        self._tracer = tracer
+
+    def __call__(self, index):
+        stage = self._stages[index]
+        if self._replay_from_cache(index, stage):
+            return
+        emit(self._tracer, "stage_start", stage.name, stage.layer)
+        attempts = 0
+        while True:
+            view = _ContractView(self._state, stage, self._lock)
+            started = time.perf_counter()
+            try:
+                outcome = stage.function(view)
+            except ContractViolation:
+                raise  # programming error: never retried or absorbed
+            except Exception as exc:
+                elapsed = time.perf_counter() - started
+                if attempts < stage.retries:
+                    attempts += 1
+                    emit(self._tracer, "stage_retry", stage.name,
+                         stage.layer, attempt=attempts, error=str(exc))
+                    continue
+                self._apply_policy(stage, exc, elapsed, attempts)
+                return
+            elapsed = time.perf_counter() - started
+            self._record_success(index, stage, outcome, elapsed,
+                                 attempts, view)
+            return
+
+    # -- outcomes ------------------------------------------------------------
+
+    def _replay_from_cache(self, index, stage):
+        key = self._keys[index]
+        if self._cache is None or key is None:
+            return False
+        entry = self._cache.get(key)
+        if entry is None:
+            return False
+        started = time.perf_counter()
+        with self._lock:
+            self._state.update(entry.delta)
+        elapsed = time.perf_counter() - started
+        emit(self._tracer, "cache_hit", stage.name, stage.layer)
+        with self._lock:
+            self._report.add(stage.layer, stage.name, entry.summary,
+                             elapsed, cache_hit=True, **entry.details)
+        return True
+
+    def _record_success(self, index, stage, outcome, elapsed, attempts,
+                        view):
+        if isinstance(outcome, tuple):
+            summary, details = outcome
+        else:
+            summary, details = outcome, {}
+        key = self._keys[index]
+        if self._cache is not None and key is not None:
+            with self._lock:
+                delta = {k: self._state[k] for k in view.written
+                         if k in self._state}
+            self._cache.store(key, summary, details, delta)
+        emit(self._tracer, "stage_end", stage.name, stage.layer,
+             seconds=elapsed)
+        with self._lock:
+            self._report.add(stage.layer, stage.name, summary, elapsed,
+                             retries=attempts, **dict(details))
+
+    def _apply_policy(self, stage, exc, elapsed, attempts):
+        emit(self._tracer, "stage_error", stage.name, stage.layer,
+             error=str(exc), retries=attempts)
+        if stage.on_error == "skip":
+            emit(self._tracer, "stage_skip", stage.name, stage.layer)
+            with self._lock:
+                self._report.add(stage.layer, stage.name,
+                                 f"skipped: {exc}", elapsed,
+                                 status="skipped", retries=attempts,
+                                 error=str(exc))
+            return
+        if stage.on_error == "fallback":
+            self._run_fallback(stage, exc, elapsed, attempts)
+            return
+        with self._lock:
+            self._report.add(stage.layer, stage.name,
+                             f"failed: {exc}", elapsed,
+                             status="failed", retries=attempts,
+                             error=str(exc))
+        raise StageFailure(
+            stage.name,
+            f"stage {stage.name!r} failed after {attempts + 1} "
+            f"attempt(s): {exc}",
+            report=self._report, state=self._state,
+        ) from exc
+
+    def _run_fallback(self, stage, exc, elapsed, attempts):
+        emit(self._tracer, "stage_fallback", stage.name, stage.layer)
+        view = _ContractView(self._state, stage, self._lock)
+        started = time.perf_counter()
+        try:
+            outcome = stage.fallback(view)
+        except ContractViolation:
+            raise
+        except Exception as fallback_exc:
+            total = elapsed + time.perf_counter() - started
+            with self._lock:
+                self._report.add(stage.layer, stage.name,
+                                 f"failed: {fallback_exc}", total,
+                                 status="failed", retries=attempts,
+                                 error=str(fallback_exc))
+            raise StageFailure(
+                stage.name,
+                f"stage {stage.name!r} fallback failed: {fallback_exc}",
+                report=self._report, state=self._state,
+            ) from fallback_exc
+        total = elapsed + time.perf_counter() - started
+        if isinstance(outcome, tuple):
+            summary, details = outcome
+        else:
+            summary, details = outcome, {}
+        with self._lock:
+            self._report.add(stage.layer, stage.name, summary, total,
+                             status="fallback", retries=attempts,
+                             error=str(exc), **dict(details))

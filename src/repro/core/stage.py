@@ -1,0 +1,246 @@
+"""Stages with declared contracts: the unit of work of the engine.
+
+A :class:`Stage` is a named function attached to one of the four
+Figure-1 layers, carrying a *contract*: the state keys it ``reads``
+and ``writes``.  Contracts drive everything downstream:
+
+* the dependency resolver (:mod:`repro.core.dag`) turns overlapping
+  contracts into DAG edges, so contract-independent stages can run
+  concurrently;
+* the scheduler hands each stage a :class:`_ContractView` of the
+  shared state that *enforces* the contract at run time — an
+  undeclared read or write raises :class:`ContractViolation`;
+* the cache (:mod:`repro.core.cache`) keys a stage's result on the
+  content of exactly the inputs its contract names.
+
+A stage that declares no contract gets the :data:`ANY` wildcard for
+both sides, which conflicts with everything and therefore degrades to
+the legacy fully-sequential execution order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import MutableMapping
+
+__all__ = [
+    "ANY",
+    "ContractViolation",
+    "Stage",
+    "StageFailure",
+]
+
+
+class _AnyKeys:
+    """Wildcard contract: the stage may touch every state key."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "ANY"
+
+
+ANY = _AnyKeys()
+
+_POLICIES = ("fail", "skip", "fallback")
+
+
+class ContractViolation(RuntimeError):
+    """A stage touched a state key its contract does not declare."""
+
+
+class StageFailure(RuntimeError):
+    """A stage with the ``fail`` policy exhausted its retries.
+
+    Carries the partial run artifacts so a failed run still leaves an
+    audit trail: ``.stage`` (name), ``.report`` (records up to the
+    failure) and ``.state`` (state as of the failure).
+    """
+
+    def __init__(self, stage, message, *, report=None, state=None):
+        super().__init__(message)
+        self.stage = str(stage)
+        self.report = report
+        self.state = state
+
+
+def _as_contract(keys):
+    """Normalize a declared contract: None -> ANY, iterable -> frozenset."""
+    if keys is None or keys is ANY:
+        return ANY
+    if isinstance(keys, str):
+        raise TypeError(
+            "contract keys must be an iterable of key names, not a "
+            f"bare string: {keys!r}"
+        )
+    return frozenset(str(key) for key in keys)
+
+
+def contracts_overlap(a, b):
+    """Whether two contract key sets can refer to a common key."""
+    if a is ANY:
+        return True if b is ANY else bool(b)
+    if b is ANY:
+        return bool(a)
+    return not a.isdisjoint(b)
+
+
+class Stage:
+    """A named pipeline stage with contract and failure policy.
+
+    Parameters
+    ----------
+    layer, name, function:
+        As in the original pipeline: the Figure-1 layer, a unique
+        stage name, and a callable receiving the state mapping.
+    reads, writes:
+        Iterables of state keys the stage consumes / produces.
+        ``None`` (the default) means the :data:`ANY` wildcard.
+    on_error:
+        ``"fail"`` (default) aborts the run, ``"skip"`` records the
+        error and continues, ``"fallback"`` invokes ``fallback``.
+    fallback:
+        Callable with the stage signature, required when
+        ``on_error="fallback"``.
+    retries:
+        Extra attempts before the failure policy applies.
+    """
+
+    __slots__ = ("layer", "name", "function", "reads", "writes",
+                 "on_error", "fallback", "retries")
+
+    def __init__(self, layer, name, function, *, reads=None, writes=None,
+                 on_error="fail", fallback=None, retries=0):
+        if not callable(function):
+            raise TypeError("function must be callable")
+        if on_error not in _POLICIES:
+            raise ValueError(
+                f"on_error must be one of {_POLICIES}, got {on_error!r}"
+            )
+        if on_error == "fallback" and not callable(fallback):
+            raise TypeError(
+                "on_error='fallback' requires a callable fallback"
+            )
+        if fallback is not None and on_error != "fallback":
+            raise ValueError(
+                "fallback given but on_error is not 'fallback'"
+            )
+        retries = int(retries)
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.layer = str(layer)
+        self.name = str(name)
+        self.function = function
+        self.reads = _as_contract(reads)
+        self.writes = _as_contract(writes)
+        self.on_error = on_error
+        self.fallback = fallback
+        self.retries = retries
+
+    @property
+    def declared(self):
+        """Whether both contract sides are explicit (cacheable)."""
+        return self.reads is not ANY and self.writes is not ANY
+
+    def replace_name_suffix(self):  # pragma: no cover - debug aid
+        return f"{self.layer}/{self.name}"
+
+    def __repr__(self):
+        return (
+            f"Stage({self.layer}/{self.name}, reads={self.reads!r}, "
+            f"writes={self.writes!r}, on_error={self.on_error!r})"
+        )
+
+
+class _ContractView(MutableMapping):
+    """A contract-enforcing, lock-guarded view of the shared state.
+
+    Stage functions receive this instead of the raw dict.  It behaves
+    like the state mapping restricted to the stage's declared keys:
+    reads outside ``reads | writes`` and writes outside ``writes``
+    raise :class:`ContractViolation` immediately, naming the stage.
+    All operations hold the run's lock, so contract-disjoint stages
+    can safely mutate the underlying dict concurrently.
+
+    Keys the stage actually wrote are tracked in ``written`` — the
+    scheduler uses them to validate wildcard stages post-hoc and the
+    cache uses them as the stage's replayable state delta.
+    """
+
+    __slots__ = ("_state", "_stage", "_lock", "written")
+
+    def __init__(self, state, stage, lock):
+        self._state = state
+        self._stage = stage
+        self._lock = lock
+        self.written = set()
+
+    # -- contract checks ----------------------------------------------------
+
+    def _check_read(self, key):
+        reads = self._stage.reads
+        if reads is ANY:
+            return
+        if key in reads or (self._stage.writes is not ANY
+                            and key in self._stage.writes):
+            return
+        raise ContractViolation(
+            f"stage {self._stage.name!r} read undeclared key {key!r} "
+            f"(declared reads: {sorted(reads)})"
+        )
+
+    def _check_write(self, key):
+        writes = self._stage.writes
+        if writes is ANY or key in writes:
+            return
+        raise ContractViolation(
+            f"stage {self._stage.name!r} wrote undeclared key {key!r} "
+            f"(declared writes: {sorted(writes)})"
+        )
+
+    def _visible(self, key):
+        """Whether the contract lets the stage see this key at all."""
+        if self._stage.reads is ANY:
+            return True
+        return key in self._stage.reads or (
+            self._stage.writes is not ANY and key in self._stage.writes)
+
+    # -- MutableMapping interface -------------------------------------------
+
+    def __getitem__(self, key):
+        self._check_read(key)
+        with self._lock:
+            return self._state[key]
+
+    def __setitem__(self, key, value):
+        self._check_write(key)
+        with self._lock:
+            self._state[key] = value
+        self.written.add(key)
+
+    def __delitem__(self, key):
+        self._check_write(key)
+        with self._lock:
+            del self._state[key]
+        self.written.add(key)
+
+    def __iter__(self):
+        with self._lock:
+            keys = list(self._state)
+        return iter([key for key in keys if self._visible(key)])
+
+    def __len__(self):
+        return len(list(iter(self)))
+
+    def __contains__(self, key):
+        if not self._visible(key):
+            return False
+        with self._lock:
+            return key in self._state
+
+    def __repr__(self):
+        return f"<state view for stage {self._stage.name!r}>"
