@@ -29,8 +29,11 @@ from .core import (
     CollectingTracer,
     ContractViolation,
     DecisionPipeline,
+    FaultInjector,
+    RunDeadlineExceeded,
     StageCache,
     StageFailure,
+    StageTimeout,
 )
 from .datatypes import (
     CorrelatedTimeSeries,
@@ -48,9 +51,12 @@ __all__ = [
     "ContractViolation",
     "CorrelatedTimeSeries",
     "DecisionPipeline",
+    "FaultInjector",
     "GpsPoint",
+    "RunDeadlineExceeded",
     "StageCache",
     "StageFailure",
+    "StageTimeout",
     "ImageSequence",
     "RoadNetwork",
     "TimeSeries",

@@ -1,24 +1,38 @@
 """The paradigm of Figure 1 as an execution engine: a DAG-scheduled,
-contract-checked, cache-aware Data-Governance-Analytics-Decision
-pipeline with structured observability."""
+contract-checked, cache-aware, transactionally-isolated
+Data-Governance-Analytics-Decision pipeline with bounded execution
+(timeouts, deadlines, cancellation) and structured observability."""
 
 from .cache import StageCache
 from .events import CollectingTracer, PrintTracer, StageEvent, Tracer
+from .faults import FaultInjector
 from .pipeline import DecisionPipeline
 from .report import RunReport, StageRecord
-from .stage import ANY, ContractViolation, Stage, StageFailure
+from .stage import (
+    ANY,
+    ContractViolation,
+    RunDeadlineExceeded,
+    Stage,
+    StageCancelled,
+    StageFailure,
+    StageTimeout,
+)
 
 __all__ = [
     "ANY",
     "CollectingTracer",
     "ContractViolation",
     "DecisionPipeline",
+    "FaultInjector",
     "PrintTracer",
+    "RunDeadlineExceeded",
     "RunReport",
     "Stage",
     "StageCache",
+    "StageCancelled",
     "StageEvent",
     "StageFailure",
     "StageRecord",
+    "StageTimeout",
     "Tracer",
 ]

@@ -19,15 +19,32 @@ has no enumerable inputs to fingerprint, and anything data-dependent
 on an uncacheable stage is itself uncacheable.  Values that resist
 fingerprinting (unpicklable objects without a stable byte form)
 silently exclude the stage from caching rather than risking a stale
-hit.  Cached deltas are replayed by reference: treat cached state
-values as immutable across runs.
+hit.
+
+A stored delta is the stage's full transactional outcome: the values
+it committed *and* the keys it deleted (tombstones), so a cached
+replay reproduces deletions exactly like a live run.  Deltas are
+deep-copied on store and again on replay — a later stage mutating a
+replayed numpy array or dict in place can therefore never corrupt
+the cached copy for future runs.  A value that cannot be deep-copied
+demotes its stage to uncacheable instead of being shared by
+reference.
+
+Function fingerprints are *structural*: nested code objects (inner
+lambdas, comprehensions, local functions) are recursed into and
+hashed by their bytecode, names and constants — never by ``repr``,
+which embeds memory addresses and made structurally identical
+functions compiled separately (or in separate processes) hash
+differently.
 """
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import pickle
 import threading
+import types
 
 from . import dag as _dag
 from .stage import ANY
@@ -39,6 +56,22 @@ _ABSENT = "<absent>"
 
 class Unfingerprintable(TypeError):
     """A value has no stable content fingerprint; skip caching."""
+
+
+def _item_digests(pairs, depth):
+    """Order-independent digesting: hash each item alone, sort digests.
+
+    Used for dicts with unsortable keys and for sets, where iteration
+    order is arbitrary and ``repr``-keyed sorting is address-dependent
+    for plain objects.
+    """
+    digests = []
+    for pair in pairs:
+        digest = hashlib.sha256()
+        for value in pair:
+            _update(digest, value, depth)
+        digests.append(digest.digest())
+    return sorted(digests)
 
 
 def _update(digest, value, _depth=0):
@@ -72,15 +105,23 @@ def _update(digest, value, _depth=0):
         try:
             items = sorted(value.items())
         except TypeError:
-            items = list(value.items())
+            # Unsortable keys: per-item digests, sorted, so the hash
+            # is independent of insertion order.
+            for item_digest in _item_digests(value.items(), _depth + 1):
+                digest.update(item_digest)
+            return
         for key, item in items:
             _update(digest, key, _depth + 1)
             _update(digest, item, _depth + 1)
         return
     if isinstance(value, (set, frozenset)):
         digest.update(b"set")
-        for item in sorted(value, key=repr):
-            _update(digest, item, _depth + 1)
+        for item_digest in _item_digests(((item,) for item in value),
+                                         _depth + 1):
+            digest.update(item_digest)
+        return
+    if isinstance(value, types.CodeType):
+        _update_code(digest, value, _depth + 1)
         return
     # Arbitrary objects: pickle is content-stable for the numpy-backed
     # datatypes this library passes between stages.
@@ -91,6 +132,31 @@ def _update(digest, value, _depth=0):
         raise Unfingerprintable(
             f"cannot fingerprint {type(value).__name__}"
         ) from exc
+
+
+def _update_code(digest, code, _depth=0):
+    """Structural digest of a code object.
+
+    Hashes bytecode, names and constants, recursing into nested code
+    objects (lambdas, comprehensions, local defs).  ``repr`` of a
+    code object embeds its memory address, so it must never reach the
+    digest — two separately compiled but identical functions have to
+    share a fingerprint, within a process and across processes.
+    """
+    if _depth > 16:
+        raise Unfingerprintable("code fingerprint recursion too deep")
+    digest.update(b"code")
+    digest.update(code.co_code)
+    for names in (code.co_names, code.co_varnames, code.co_freevars,
+                  code.co_cellvars):
+        digest.update(repr(names).encode())
+    digest.update(repr((code.co_argcount, code.co_kwonlyargcount,
+                        code.co_flags)).encode())
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            _update_code(digest, const, _depth + 1)
+        else:
+            _update(digest, const, _depth + 1)
 
 
 def fingerprint(value):
@@ -105,9 +171,7 @@ def _function_fingerprint(function):
     digest = hashlib.sha256()
     code = getattr(function, "__code__", None)
     if code is not None:
-        digest.update(code.co_code)
-        _update(digest, repr(code.co_consts))
-        _update(digest, repr(code.co_names))
+        _update_code(digest, code)
         closure = getattr(function, "__closure__", None) or ()
         for cell in closure:
             _update(digest, cell.cell_contents)
@@ -157,14 +221,23 @@ def stage_keys(stages, deps, initial_state):
 
 
 class CacheEntry:
-    """A stored stage outcome: summary, details and the state delta."""
+    """A stored stage outcome: summary, details, state delta, tombstones."""
 
-    __slots__ = ("summary", "details", "delta")
+    __slots__ = ("summary", "details", "delta", "deleted")
 
-    def __init__(self, summary, details, delta):
+    def __init__(self, summary, details, delta, deleted=()):
         self.summary = summary
         self.details = dict(details)
         self.delta = dict(delta)
+        self.deleted = frozenset(deleted)
+
+    def snapshot(self):
+        """A replay-safe ``(delta, deleted)`` pair.
+
+        The delta is deep-copied so downstream stages mutating a
+        replayed value in place cannot reach back into the cache.
+        """
+        return copy.deepcopy(self.delta), self.deleted
 
 
 class StageCache:
@@ -190,9 +263,19 @@ class StageCache:
                 self.hits += 1
             return entry
 
-    def store(self, key, summary, details, delta):
+    def store(self, key, summary, details, delta, deleted=()):
+        """Store an outcome; returns False (and stores nothing) when
+        the delta cannot be deep-copied — such a value would be shared
+        by reference across runs and poisoned by the first in-place
+        mutation, so the stage is demoted to uncacheable instead."""
+        try:
+            delta = copy.deepcopy(dict(delta))
+        except Exception:
+            return False
         with self._lock:
-            self._entries[key] = CacheEntry(summary, details, delta)
+            self._entries[key] = CacheEntry(summary, details, delta,
+                                            deleted)
+        return True
 
     def clear(self):
         with self._lock:

@@ -2,15 +2,20 @@
 
 The engine narrates a run as a stream of :class:`StageEvent` objects
 — ``run_start``, ``stage_start``, ``stage_end``, ``stage_error``,
-``stage_retry``, ``stage_skip``, ``stage_fallback``, ``cache_hit``,
-``run_end`` — delivered to an opt-in *tracer*: any object with an
-``on_event(event)`` method (duck-typed; subclassing is optional).
-Tracer exceptions are swallowed so a broken observer cannot take the
-pipeline down with it.
+``stage_retry``, ``stage_skip``, ``stage_fallback``,
+``stage_timeout``, ``stage_cancelled``, ``fault_injected``,
+``cache_hit``, ``run_end`` — delivered to an opt-in *tracer*: any
+object with an ``on_event(event)`` method (duck-typed; subclassing
+is optional).  Tracer exceptions are swallowed so a broken observer
+cannot take the pipeline down with it.
 
 Two tracers ship with the library: :class:`CollectingTracer` buffers
 events for inspection (tests, dashboards) and :class:`PrintTracer`
-streams one line per event (live debugging).
+streams one line per event (live debugging).  A tracer that
+additionally exposes an ``inject(stage_name, attempt)`` method is a
+*tracer-hook*: the scheduler calls it at the top of every attempt,
+and it may sleep or raise to perturb execution — see
+:class:`repro.core.faults.FaultInjector`.
 """
 
 from __future__ import annotations
@@ -35,6 +40,9 @@ EVENT_KINDS = (
     "stage_retry",
     "stage_skip",
     "stage_fallback",
+    "stage_timeout",
+    "stage_cancelled",
+    "fault_injected",
     "cache_hit",
     "run_end",
 )

@@ -1,0 +1,120 @@
+"""Deterministic fault injection for exercising the engine's guarantees.
+
+Robustness claims are only as good as the failures they have been
+tested against.  :class:`FaultInjector` is a *tracer-hook*: it is a
+full :class:`~repro.core.events.CollectingTracer` (pass it as
+``tracer=``), and the scheduler additionally calls its
+:meth:`inject` method at the top of every stage attempt.  Injection
+plans are per-stage FIFO queues, so a test can script an exact
+failure trajectory — "fail twice, then succeed", "sleep past the
+timeout on the first attempt" — and the run replays it
+deterministically, no monkey-patching or wall-clock racing required.
+
+Three fault kinds cover the engine's failure surface:
+
+* :meth:`fail` raises an exception (exercises retries, backoff and
+  the ``on_error`` policies),
+* :meth:`delay` sleeps before the stage function runs (exercises
+  per-stage ``timeout`` and run ``deadline`` enforcement),
+* :meth:`timeout` raises :class:`~repro.core.stage.StageTimeout`
+  directly (a hung stage, without spending real wall clock).
+
+Every injection is recorded as a ``fault_injected`` event in the
+tracer's buffer, interleaved with the engine's own events, so a test
+can assert the exact sequence of what was injected and how the
+engine responded.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .events import CollectingTracer, StageEvent
+from .stage import StageTimeout
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector(CollectingTracer):
+    """Scripted faults for named stages; also a collecting tracer.
+
+    >>> faults = (FaultInjector()
+    ...           .fail("impute", times=2)
+    ...           .delay("forecast", 0.2))
+    >>> pipeline.run(tracer=faults)          # doctest: +SKIP
+
+    Each plan entry fires once per attempt, in the order scheduled;
+    when a stage's queue is empty the stage runs untouched.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._plans = {}
+        self._plans_lock = threading.Lock()
+        self.injected = 0
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, stage, kind, payload, times):
+        times = int(times)
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        with self._plans_lock:
+            queue = self._plans.setdefault(str(stage), [])
+            queue.extend((kind, payload) for _ in range(times))
+        return self
+
+    def fail(self, stage, times=1, exc=None):
+        """Raise ``exc`` (default ``RuntimeError``) on the next
+        ``times`` attempts of the named stage."""
+        if exc is None:
+            exc = RuntimeError(f"injected fault in stage {stage!r}")
+        if not isinstance(exc, BaseException):
+            raise TypeError("exc must be an exception instance")
+        return self._schedule(stage, "fail", exc, times)
+
+    def delay(self, stage, seconds, times=1):
+        """Sleep ``seconds`` before the next ``times`` attempts —
+        the deterministic way to trip a stage ``timeout`` or a run
+        ``deadline``."""
+        seconds = float(seconds)
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        return self._schedule(stage, "delay", seconds, times)
+
+    def timeout(self, stage, times=1):
+        """Make the next ``times`` attempts time out instantly, as if
+        the stage hung past its budget."""
+        return self._schedule(stage, "timeout", None, times)
+
+    def pending(self, stage=None):
+        """Faults not yet consumed (for the stage, or in total)."""
+        with self._plans_lock:
+            if stage is not None:
+                return len(self._plans.get(str(stage), ()))
+            return sum(len(q) for q in self._plans.values())
+
+    # -- the tracer-hook the scheduler calls ---------------------------------
+
+    def inject(self, stage_name, attempt):
+        """Consume and execute the next planned fault, if any.
+
+        Called by the scheduler at the top of every attempt; raising
+        here is exactly like the stage function raising.
+        """
+        with self._plans_lock:
+            queue = self._plans.get(stage_name)
+            if not queue:
+                return
+            kind, payload = queue.pop(0)
+            self.injected += 1
+        self.on_event(StageEvent("fault_injected", stage_name,
+                                 fault=kind, attempt=attempt))
+        if kind == "fail":
+            raise payload
+        if kind == "delay":
+            time.sleep(payload)
+            return
+        if kind == "timeout":
+            raise StageTimeout(stage_name, 0.0)

@@ -14,8 +14,14 @@ engine refactor, an *executable DAG*:
   contracts into edges, and the scheduler
   (:mod:`repro.core.scheduler`) runs contract-independent stages
   concurrently while contracts preserve layer-ordering semantics;
+* stage execution is *transactional*: an attempt's writes commit to
+  shared state atomically only on success, so a failed, retried,
+  skipped, timed-out or cancelled attempt never leaves torn state;
 * per-stage failure policies (``fail`` / ``skip`` / ``fallback``)
-  with bounded retries keep one bad stage from killing a run;
+  with bounded retries and jittered exponential backoff keep one bad
+  stage from killing a run, while per-stage ``timeout=`` and a
+  run-level ``deadline=`` keep any stage — or the whole run — from
+  hanging forever (cooperative cancellation at every state access);
 * an optional content-keyed :class:`~repro.core.cache.StageCache`
   replays unchanged stages across runs, so the E1 ablation
   (``without_stage``) only re-executes the removed stage's
@@ -59,7 +65,7 @@ class DecisionPipeline:
 
     def add_stage(self, layer, name, function, *, reads=None,
                   writes=None, on_error="fail", fallback=None,
-                  retries=0):
+                  retries=0, timeout=None, backoff=0.02):
         """Attach a stage to a layer; returns ``self`` for chaining.
 
         ``reads`` / ``writes`` declare the stage's contract (iterables
@@ -68,7 +74,10 @@ class DecisionPipeline:
         everything ordered around it — to sequential execution.
         ``on_error`` ∈ {"fail", "skip", "fallback"} and ``retries``
         set the failure policy; ``fallback`` is the substitute
-        callable for ``on_error="fallback"``.
+        callable for ``on_error="fallback"``.  ``timeout`` bounds one
+        attempt's wall clock in seconds (cooperatively enforced at
+        every state access), and ``backoff`` is the base of the
+        jittered exponential pause between retry attempts.
         """
         if layer not in self._LAYERS:
             raise ValueError(
@@ -76,7 +85,7 @@ class DecisionPipeline:
             )
         stage = Stage(layer, name, function, reads=reads, writes=writes,
                       on_error=on_error, fallback=fallback,
-                      retries=retries)
+                      retries=retries, timeout=timeout, backoff=backoff)
         if stage.name in self.stage_names:
             raise ValueError(
                 f"duplicate stage name {stage.name!r}; stage names "
@@ -141,7 +150,7 @@ class DecisionPipeline:
     # -- execution -----------------------------------------------------------
 
     def run(self, initial_state=None, *, cache=None, tracer=None,
-            max_workers=None):
+            max_workers=None, deadline=None):
         """Execute the stage DAG.
 
         Parameters
@@ -155,10 +164,19 @@ class DecisionPipeline:
             upstream cone is unchanged.
         tracer:
             Optional observer with an ``on_event(event)`` method; see
-            :mod:`repro.core.events`.
+            :mod:`repro.core.events`.  A tracer that also exposes
+            ``inject(stage_name, attempt)`` (e.g.
+            :class:`~repro.core.faults.FaultInjector`) is called at
+            the top of every attempt and may raise or sleep.
         max_workers:
             Thread-pool width for concurrent stages (default: one
             slot per stage, capped at 32).
+        deadline:
+            Run-level wall-clock budget in seconds.  When it expires
+            the run is cancelled: in-flight stages abort at their
+            next state access (committing nothing), unstarted stages
+            are recorded as ``cancelled``, and
+            :class:`RunDeadlineExceeded` is raised.
 
         Returns
         -------
@@ -169,8 +187,14 @@ class DecisionPipeline:
         ------
         StageFailure
             When a ``fail``-policy stage exhausts its retries; the
-            exception carries the partial ``report`` and ``state``.
+            exception carries the partial ``report`` and ``state``
+            plus any concurrent ``secondary`` failures.
+        RunDeadlineExceeded
+            When ``deadline`` expires first; also carries the
+            partial ``report`` and ``state``.
         """
+        if deadline is not None and float(deadline) <= 0:
+            raise ValueError("deadline must be positive or None")
         stages = self._ordered_stages()
         if not stages:
             raise RuntimeError("pipeline has no stages")
@@ -181,11 +205,13 @@ class DecisionPipeline:
             (stage.name, tuple(stages[i].name for i in sorted(deps[j])))
             for j, stage in enumerate(stages)
         ])
+        report.set_deadline(deadline)
         emit(tracer, "run_start", stages=len(stages))
         scheduler = DagScheduler(max_workers=max_workers)
         try:
             scheduler.execute(stages, deps, state, report,
-                              cache=cache, tracer=tracer)
+                              cache=cache, tracer=tracer,
+                              deadline=deadline)
         finally:
             report.finish()
             emit(tracer, "run_end",

@@ -21,7 +21,8 @@ from .dag import critical_path_seconds as _critical_path
 
 __all__ = ["StageRecord", "RunReport"]
 
-_STATUSES = ("ok", "failed", "skipped", "fallback")
+_STATUSES = ("ok", "failed", "skipped", "fallback", "timed_out",
+             "cancelled")
 
 
 class StageRecord:
@@ -65,6 +66,7 @@ class RunReport:
         self.title = str(title)
         self.records = []
         self.dag = []
+        self.deadline_seconds = None
         self._started = time.perf_counter()
         self._finished = None
 
@@ -84,6 +86,18 @@ class RunReport:
     def set_dag(self, edges):
         """Record the resolved DAG as ``(stage, (dep, ...))`` pairs."""
         self.dag = [(str(name), tuple(deps)) for name, deps in edges]
+
+    def set_deadline(self, seconds):
+        """Record the run-level deadline budget (``None`` = none)."""
+        self.deadline_seconds = (None if seconds is None
+                                 else float(seconds))
+
+    @property
+    def deadline_remaining_seconds(self):
+        """Budget left at ``finish()`` time (``None`` without deadline)."""
+        if self.deadline_seconds is None:
+            return None
+        return self.deadline_seconds - self.wall_seconds
 
     def finish(self):
         """Freeze the wall clock; called by the engine at run end."""
@@ -144,6 +158,14 @@ class RunReport:
     def total_retries(self):
         return sum(r.retries for r in self.records)
 
+    @property
+    def timed_out_count(self):
+        return sum(1 for r in self.records if r.status == "timed_out")
+
+    @property
+    def cancelled_count(self):
+        return sum(1 for r in self.records if r.status == "cancelled")
+
     def render(self):
         """Human-readable multi-line summary."""
         lines = [f"=== {self.title} ==="]
@@ -170,10 +192,20 @@ class RunReport:
             f"wall clock: {self.wall_seconds:.3f}s | "
             f"critical path: {self.critical_path_seconds:.3f}s"
         )
+        if self.deadline_seconds is not None:
+            lines.append(
+                f"deadline: {self.deadline_seconds:.3f}s | "
+                f"remaining: {self.deadline_remaining_seconds:.3f}s"
+            )
         if self.cache_hits or self.total_retries:
             lines.append(
                 f"cache hits: {self.cache_hits} | "
                 f"retries: {self.total_retries}"
+            )
+        if self.timed_out_count or self.cancelled_count:
+            lines.append(
+                f"timed out: {self.timed_out_count} | "
+                f"cancelled: {self.cancelled_count}"
             )
         return "\n".join(lines)
 

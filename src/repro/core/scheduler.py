@@ -10,21 +10,52 @@ Chain-shaped DAGs — which every legacy wildcard-contract pipeline
 resolves to — are detected and executed inline in the calling
 thread: identical semantics to the old for-loop, zero pool overhead.
 
+Execution is *transactional*: each attempt runs against a buffering
+:class:`~repro.core.stage._ContractView` and its writes (including
+deletions) commit to shared state atomically only on success.  A
+failed, retried, skipped, timed-out or cancelled attempt commits
+nothing — shared state is exactly what it was before the attempt.
+
 Per-stage failure handling:
 
-* ``retries=N`` re-invokes the stage up to N extra times,
+* ``retries=N`` re-invokes the stage up to N extra times, sleeping
+  an exponentially growing, jittered backoff between attempts,
 * then the stage's policy applies: ``fail`` aborts the run (raising
   :class:`StageFailure` carrying the partial report), ``skip``
   records the error and lets the rest of the DAG proceed,
   ``fallback`` runs the stage's fallback callable instead.
 
+Bounded execution:
+
+* ``Stage(timeout=...)`` limits one attempt's wall clock; the view
+  raises :class:`StageTimeout` cooperatively at the next state
+  access (and the runner re-checks when the attempt returns), after
+  which retries / the failure policy apply and the record's status
+  becomes ``"timed_out"`` if the policy is ``fail``;
+* ``deadline=`` bounds the whole run; when it expires the run is
+  cancelled, in-flight attempts abort at their next state access
+  with :class:`StageCancelled`, unstarted stages are recorded as
+  ``"cancelled"``, and :class:`RunDeadlineExceeded` is raised with
+  the partial report and state;
+* the first aborting failure likewise cancels every other in-flight
+  stage, so nothing keeps mutating state after the run is doomed —
+  and concurrent secondary failures are attached to the raised
+  :class:`StageFailure` as ``.secondary`` instead of being dropped.
+
 :class:`ContractViolation` is never retried or absorbed by a policy:
 a stage touching undeclared state is a programming error, and hiding
 it would poison every scheduling decision built on the contract.
+
+Fault injection: a tracer that also exposes an
+``inject(stage_name, attempt)`` method (see
+:class:`~repro.core.faults.FaultInjector`) is called at the top of
+every attempt and may sleep or raise to deterministically simulate
+slow, flaky or hung stages.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
@@ -32,9 +63,63 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from . import cache as _cache
 from . import dag as _dag
 from .events import emit
-from .stage import ContractViolation, StageFailure, _ContractView
+from .stage import (
+    ContractViolation,
+    RunDeadlineExceeded,
+    StageCancelled,
+    StageFailure,
+    StageTimeout,
+    _ContractView,
+)
 
 __all__ = ["DagScheduler"]
+
+#: Upper bound on a single backoff sleep, seconds.
+BACKOFF_CAP = 2.0
+
+
+class _RunControl:
+    """Shared cancellation and deadline state for one run.
+
+    ``cancel(reason)`` flips the run into a cancelled state (first
+    reason wins); ``checkpoint(stage)`` is called by every state
+    access and raises :class:`StageCancelled` once cancelled, making
+    every stage's state traffic a cooperative cancellation point.
+    """
+
+    def __init__(self, deadline=None):
+        self._started = time.perf_counter()
+        self._deadline_at = (None if deadline is None
+                             else self._started + float(deadline))
+        self._cancelled = threading.Event()
+        self._reason_lock = threading.Lock()
+        self.reason = None
+
+    def cancel(self, reason):
+        with self._reason_lock:
+            if self.reason is None:
+                self.reason = str(reason)
+        self._cancelled.set()
+
+    @property
+    def cancelled(self):
+        return self._cancelled.is_set()
+
+    def deadline_exceeded(self):
+        return (self._deadline_at is not None
+                and time.perf_counter() > self._deadline_at)
+
+    def remaining(self):
+        """Seconds left in the run budget (``None`` = unbounded)."""
+        if self._deadline_at is None:
+            return None
+        return max(0.0, self._deadline_at - time.perf_counter())
+
+    def checkpoint(self, stage_name):
+        if not self.cancelled and self.deadline_exceeded():
+            self.cancel("run deadline exceeded")
+        if self.cancelled:
+            raise StageCancelled(stage_name, self.reason)
 
 
 class DagScheduler:
@@ -44,89 +129,183 @@ class DagScheduler:
         self.max_workers = max_workers
 
     def execute(self, stages, deps, state, report, *, cache=None,
-                tracer=None):
+                tracer=None, deadline=None):
         """Run all stages; mutates ``state`` and ``report`` in place."""
         lock = threading.RLock()
+        control = _RunControl(deadline)
         keys = (_cache.stage_keys(stages, deps, state)
                 if cache is not None else [None] * len(stages))
         run = _StageRunner(stages, state, report, lock, cache, keys,
-                           tracer)
+                           tracer, control)
         if len(stages) <= 1 or _dag.is_chain(deps):
-            for index in range(len(stages)):
-                run(index)
+            self._execute_chain(stages, run)
             return
-        self._execute_concurrent(stages, deps, run)
+        self._execute_concurrent(stages, deps, run, control)
 
-    def _execute_concurrent(self, stages, deps, run):
+    def _execute_chain(self, stages, run):
+        for index in range(len(stages)):
+            try:
+                run(index)
+            except BaseException:
+                self._record_cancelled(stages,
+                                       range(index + 1, len(stages)),
+                                       run)
+                raise
+
+    def _execute_concurrent(self, stages, deps, run, control):
         n = len(stages)
         remaining = [len(d) for d in deps]
         dependents = [[] for _ in range(n)]
         for j, dep_set in enumerate(deps):
             for i in dep_set:
                 dependents[i].append(j)
-        failure = None
+        failures = []
+        started = set()
         workers = self.max_workers or min(32, n)
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(run, i): i
-                for i in range(n) if remaining[i] == 0
-            }
+            futures = {}
+            for i in range(n):
+                if remaining[i] == 0:
+                    futures[pool.submit(run, i)] = i
+                    started.add(i)
             while futures:
                 done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
                     index = futures.pop(future)
                     error = future.exception()
-                    if error is not None and failure is None:
-                        failure = error  # stop scheduling new stages
+                    if error is not None:
+                        failures.append(error)
+                        # Cancel every other in-flight stage: their
+                        # next state access aborts the attempt, and
+                        # nothing they did so far was committed.
+                        control.cancel(
+                            f"stage {stages[index].name!r} aborted "
+                            "the run")
                     for j in dependents[index]:
                         remaining[j] -= 1
-                        if remaining[j] == 0 and failure is None:
+                        if (remaining[j] == 0 and not failures
+                                and not control.cancelled):
                             futures[pool.submit(run, j)] = j
-        if failure is not None:
-            raise failure
+                            started.add(j)
+        unrun = [j for j in range(n) if j not in started]
+        if failures:
+            self._record_cancelled(stages, unrun, run)
+            primary = failures[0]
+            if isinstance(primary, StageFailure):
+                primary.secondary = failures[1:]
+            raise primary
+        if control.cancelled:
+            self._record_cancelled(stages, unrun, run)
+            raise RunDeadlineExceeded(
+                f"run deadline expired with {len(unrun)} stage(s) "
+                "unexecuted",
+                report=run.report, state=run.state)
+
+    def _record_cancelled(self, stages, indices, run):
+        """Audit-trail records for stages the abort kept from running."""
+        for j in indices:
+            run.record_cancelled(stages[j], "run aborted")
 
 
 class _StageRunner:
     """Executes one stage: cache lookup, retries, failure policy."""
 
     def __init__(self, stages, state, report, lock, cache, keys,
-                 tracer):
+                 tracer, control):
         self._stages = stages
-        self._state = state
-        self._report = report
+        self.state = state
+        self.report = report
         self._lock = lock
         self._cache = cache
         self._keys = keys
         self._tracer = tracer
+        self._control = control
+        self._inject = getattr(tracer, "inject", None)
 
     def __call__(self, index):
         stage = self._stages[index]
+        try:
+            self._control.checkpoint(stage.name)
+        except StageCancelled:
+            reason = self._control.reason or "cancelled"
+            self.record_cancelled(stage, reason)
+            if reason == "run deadline exceeded":
+                raise RunDeadlineExceeded(
+                    f"run deadline expired before stage {stage.name!r}",
+                    report=self.report, state=self.state)
+            return
         if self._replay_from_cache(index, stage):
             return
         emit(self._tracer, "stage_start", stage.name, stage.layer)
         attempts = 0
         while True:
-            view = _ContractView(self._state, stage, self._lock)
-            started = time.perf_counter()
+            view = _ContractView(self.state, stage, self._lock,
+                                 self._control)
             try:
-                outcome = stage.function(view)
+                outcome = self._attempt(stage, view, attempts)
             except ContractViolation:
                 raise  # programming error: never retried or absorbed
+            except StageCancelled:
+                self._record_run_cancelled(stage, view, attempts)
+                return
             except Exception as exc:
-                elapsed = time.perf_counter() - started
                 if attempts < stage.retries:
                     attempts += 1
                     emit(self._tracer, "stage_retry", stage.name,
                          stage.layer, attempt=attempts, error=str(exc))
+                    self._backoff(stage, attempts)
                     continue
-                self._apply_policy(stage, exc, elapsed, attempts)
+                self._apply_policy(stage, exc, view.elapsed(), attempts)
                 return
-            elapsed = time.perf_counter() - started
-            self._record_success(index, stage, outcome, elapsed,
-                                 attempts, view)
+            self._record_success(index, stage, outcome, view, attempts)
             return
 
+    def _attempt(self, stage, view, attempt):
+        """One bounded attempt: inject faults, run, enforce timeout."""
+        if self._inject is not None:
+            self._inject(stage.name, attempt)
+        outcome = stage.function(view)
+        # An attempt that returns over budget is as timed out as one
+        # caught mid-flight: it must not commit.
+        if view.timed_out():
+            raise StageTimeout(stage.name, stage.timeout)
+        return outcome
+
+    def _backoff(self, stage, attempt):
+        """Jittered exponential pause before the next attempt."""
+        if stage.backoff <= 0:
+            return
+        delay = min(BACKOFF_CAP, stage.backoff * 2 ** (attempt - 1))
+        delay *= 0.5 + 0.5 * random.random()  # full jitter, [50%, 100%]
+        budget = self._control.remaining()
+        if budget is not None:
+            delay = min(delay, budget)
+        if delay > 0:
+            time.sleep(delay)
+
     # -- outcomes ------------------------------------------------------------
+
+    def record_cancelled(self, stage, why):
+        emit(self._tracer, "stage_cancelled", stage.name, stage.layer,
+             reason=why)
+        with self._lock:
+            self.report.add(stage.layer, stage.name,
+                             f"cancelled: {why}", 0.0,
+                             status="cancelled", error=str(why))
+
+    def _record_run_cancelled(self, stage, view, attempts):
+        reason = self._control.reason or "cancelled"
+        emit(self._tracer, "stage_cancelled", stage.name, stage.layer,
+             reason=reason)
+        with self._lock:
+            self.report.add(stage.layer, stage.name,
+                             f"cancelled: {reason}", view.elapsed(),
+                             status="cancelled", retries=attempts,
+                             error=reason)
+        if self._control.reason == "run deadline exceeded":
+            raise RunDeadlineExceeded(
+                f"run deadline expired during stage {stage.name!r}",
+                report=self.report, state=self.state)
 
     def _replay_from_cache(self, index, stage):
         key = self._keys[index]
@@ -136,40 +315,43 @@ class _StageRunner:
         if entry is None:
             return False
         started = time.perf_counter()
+        delta, deleted = entry.snapshot()
         with self._lock:
-            self._state.update(entry.delta)
+            self.state.update(delta)
+            for k in deleted:
+                self.state.pop(k, None)
         elapsed = time.perf_counter() - started
         emit(self._tracer, "cache_hit", stage.name, stage.layer)
         with self._lock:
-            self._report.add(stage.layer, stage.name, entry.summary,
+            self.report.add(stage.layer, stage.name, entry.summary,
                              elapsed, cache_hit=True, **entry.details)
         return True
 
-    def _record_success(self, index, stage, outcome, elapsed, attempts,
-                        view):
+    def _record_success(self, index, stage, outcome, view, attempts):
         if isinstance(outcome, tuple):
             summary, details = outcome
         else:
             summary, details = outcome, {}
+        elapsed = view.elapsed()
+        delta, deleted = view.commit()
         key = self._keys[index]
         if self._cache is not None and key is not None:
-            with self._lock:
-                delta = {k: self._state[k] for k in view.written
-                         if k in self._state}
-            self._cache.store(key, summary, details, delta)
+            self._cache.store(key, summary, details, delta, deleted)
         emit(self._tracer, "stage_end", stage.name, stage.layer,
              seconds=elapsed)
         with self._lock:
-            self._report.add(stage.layer, stage.name, summary, elapsed,
+            self.report.add(stage.layer, stage.name, summary, elapsed,
                              retries=attempts, **dict(details))
 
     def _apply_policy(self, stage, exc, elapsed, attempts):
-        emit(self._tracer, "stage_error", stage.name, stage.layer,
+        timed_out = isinstance(exc, StageTimeout)
+        kind = "stage_timeout" if timed_out else "stage_error"
+        emit(self._tracer, kind, stage.name, stage.layer,
              error=str(exc), retries=attempts)
         if stage.on_error == "skip":
             emit(self._tracer, "stage_skip", stage.name, stage.layer)
             with self._lock:
-                self._report.add(stage.layer, stage.name,
+                self.report.add(stage.layer, stage.name,
                                  f"skipped: {exc}", elapsed,
                                  status="skipped", retries=attempts,
                                  error=str(exc))
@@ -177,44 +359,49 @@ class _StageRunner:
         if stage.on_error == "fallback":
             self._run_fallback(stage, exc, elapsed, attempts)
             return
+        status = "timed_out" if timed_out else "failed"
         with self._lock:
-            self._report.add(stage.layer, stage.name,
-                             f"failed: {exc}", elapsed,
-                             status="failed", retries=attempts,
+            self.report.add(stage.layer, stage.name,
+                             f"{status.replace('_', ' ')}: {exc}",
+                             elapsed, status=status, retries=attempts,
                              error=str(exc))
         raise StageFailure(
             stage.name,
-            f"stage {stage.name!r} failed after {attempts + 1} "
-            f"attempt(s): {exc}",
-            report=self._report, state=self._state,
+            f"stage {stage.name!r} {status.replace('_', ' ')} after "
+            f"{attempts + 1} attempt(s): {exc}",
+            report=self.report, state=self.state,
         ) from exc
 
     def _run_fallback(self, stage, exc, elapsed, attempts):
         emit(self._tracer, "stage_fallback", stage.name, stage.layer)
-        view = _ContractView(self._state, stage, self._lock)
-        started = time.perf_counter()
+        view = _ContractView(self.state, stage, self._lock,
+                             self._control)
         try:
             outcome = stage.fallback(view)
         except ContractViolation:
             raise
+        except StageCancelled:
+            self._record_run_cancelled(stage, view, attempts)
+            return
         except Exception as fallback_exc:
-            total = elapsed + time.perf_counter() - started
+            total = elapsed + view.elapsed()
             with self._lock:
-                self._report.add(stage.layer, stage.name,
+                self.report.add(stage.layer, stage.name,
                                  f"failed: {fallback_exc}", total,
                                  status="failed", retries=attempts,
                                  error=str(fallback_exc))
             raise StageFailure(
                 stage.name,
                 f"stage {stage.name!r} fallback failed: {fallback_exc}",
-                report=self._report, state=self._state,
+                report=self.report, state=self.state,
             ) from fallback_exc
-        total = elapsed + time.perf_counter() - started
+        total = elapsed + view.elapsed()
+        view.commit()
         if isinstance(outcome, tuple):
             summary, details = outcome
         else:
             summary, details = outcome, {}
         with self._lock:
-            self._report.add(stage.layer, stage.name, summary, total,
+            self.report.add(stage.layer, stage.name, summary, total,
                              status="fallback", retries=attempts,
                              error=str(exc), **dict(details))

@@ -16,17 +16,30 @@ and ``writes``.  Contracts drive everything downstream:
 A stage that declares no contract gets the :data:`ANY` wildcard for
 both sides, which conflicts with everything and therefore degrades to
 the legacy fully-sequential execution order.
+
+Execution is *transactional*: the view buffers every write (and
+deletion) of one attempt and commits to shared state atomically only
+when the attempt succeeds.  A failed, timed-out, skipped or cancelled
+attempt leaves shared state exactly as it found it, so retries and
+``on_error="skip"`` can never poison a run with torn writes.  The one
+escape hatch is in-place mutation of a *read* value (e.g. writing
+into a numpy array pulled out of state) — the transaction layer hands
+out real references and cannot intercept that.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import MutableMapping
 
 __all__ = [
     "ANY",
     "ContractViolation",
+    "RunDeadlineExceeded",
     "Stage",
+    "StageCancelled",
     "StageFailure",
+    "StageTimeout",
 ]
 
 
@@ -58,12 +71,64 @@ class StageFailure(RuntimeError):
 
     Carries the partial run artifacts so a failed run still leaves an
     audit trail: ``.stage`` (name), ``.report`` (records up to the
-    failure) and ``.state`` (state as of the failure).
+    failure), ``.state`` (state as of the failure) and
+    ``.secondary`` (exceptions from other in-flight stages that
+    failed concurrently; previously these were silently dropped).
     """
 
     def __init__(self, stage, message, *, report=None, state=None):
         super().__init__(message)
         self.stage = str(stage)
+        self.report = report
+        self.state = state
+        self.secondary = []
+
+
+class StageTimeout(RuntimeError):
+    """A stage attempt exceeded its ``timeout`` budget.
+
+    Raised cooperatively into the stage function at its next state
+    access, or by the runner when an attempt returns over budget.
+    Counts as an ordinary failure: retries and the stage's
+    ``on_error`` policy apply.
+    """
+
+    def __init__(self, stage, timeout):
+        super().__init__(
+            f"stage {stage!r} exceeded its {timeout:.3f}s timeout"
+        )
+        self.stage = str(stage)
+        self.timeout = float(timeout)
+
+
+class StageCancelled(BaseException):
+    """The run was cancelled while this stage was in flight.
+
+    Deliberately a ``BaseException``: a stage function's blanket
+    ``except Exception`` must not swallow cooperative cancellation.
+    Cancellation is not a stage failure — it is never retried and no
+    failure policy applies; the attempt's buffered writes are simply
+    discarded.
+    """
+
+    def __init__(self, stage, reason):
+        super().__init__(
+            f"stage {stage!r} cancelled ({reason})"
+        )
+        self.stage = str(stage)
+        self.reason = str(reason)
+
+
+class RunDeadlineExceeded(RuntimeError):
+    """The run-level ``deadline`` budget expired before completion.
+
+    Carries the partial ``.report`` and ``.state`` like
+    :class:`StageFailure`; committed stages stay committed, in-flight
+    attempts are rolled back.
+    """
+
+    def __init__(self, message, *, report=None, state=None):
+        super().__init__(message)
         self.report = report
         self.state = state
 
@@ -108,13 +173,24 @@ class Stage:
         ``on_error="fallback"``.
     retries:
         Extra attempts before the failure policy applies.
+    timeout:
+        Per-attempt wall-clock budget in seconds (``None`` = no
+        limit).  Enforced cooperatively at every state access and
+        again when the attempt returns; a timed-out attempt commits
+        nothing and counts as a failure (retries, then policy).
+    backoff:
+        Base delay in seconds for exponential backoff between retry
+        attempts (``delay = backoff * 2**(attempt-1)``, full jitter,
+        capped at 2 seconds).  ``0`` disables backoff.
     """
 
     __slots__ = ("layer", "name", "function", "reads", "writes",
-                 "on_error", "fallback", "retries")
+                 "on_error", "fallback", "retries", "timeout",
+                 "backoff")
 
     def __init__(self, layer, name, function, *, reads=None, writes=None,
-                 on_error="fail", fallback=None, retries=0):
+                 on_error="fail", fallback=None, retries=0,
+                 timeout=None, backoff=0.02):
         if not callable(function):
             raise TypeError("function must be callable")
         if on_error not in _POLICIES:
@@ -132,6 +208,13 @@ class Stage:
         retries = int(retries)
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if timeout is not None:
+            timeout = float(timeout)
+            if timeout <= 0:
+                raise ValueError("timeout must be positive or None")
+        backoff = float(backoff)
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
         self.layer = str(layer)
         self.name = str(name)
         self.function = function
@@ -140,6 +223,8 @@ class Stage:
         self.on_error = on_error
         self.fallback = fallback
         self.retries = retries
+        self.timeout = timeout
+        self.backoff = backoff
 
     @property
     def declared(self):
@@ -157,27 +242,73 @@ class Stage:
 
 
 class _ContractView(MutableMapping):
-    """A contract-enforcing, lock-guarded view of the shared state.
+    """A contract-enforcing, transactional view of the shared state.
 
     Stage functions receive this instead of the raw dict.  It behaves
     like the state mapping restricted to the stage's declared keys:
     reads outside ``reads | writes`` and writes outside ``writes``
     raise :class:`ContractViolation` immediately, naming the stage.
-    All operations hold the run's lock, so contract-disjoint stages
-    can safely mutate the underlying dict concurrently.
 
-    Keys the stage actually wrote are tracked in ``written`` — the
-    scheduler uses them to validate wildcard stages post-hoc and the
-    cache uses them as the stage's replayable state delta.
+    Writes and deletions never touch the shared dict directly: they
+    land in a per-attempt buffer (``_writes`` plus ``_deleted``
+    tombstones) that :meth:`commit` applies atomically under the
+    run's lock once the attempt succeeds.  The stage reads its own
+    buffered writes (read-your-writes), while shared reads go to the
+    underlying dict under the lock.  Discarding the view discards the
+    attempt — that is the whole rollback mechanism.
+
+    Every access is also a cooperative checkpoint: when the run is
+    cancelled the access raises :class:`StageCancelled`, and when the
+    attempt's ``timeout`` budget is spent it raises
+    :class:`StageTimeout`.
     """
 
-    __slots__ = ("_state", "_stage", "_lock", "written")
+    __slots__ = ("_state", "_stage", "_lock", "_control", "_writes",
+                 "_deleted", "_started", "_timeout_at", "written")
 
-    def __init__(self, state, stage, lock):
+    def __init__(self, state, stage, lock, control=None):
         self._state = state
         self._stage = stage
         self._lock = lock
+        self._control = control
+        self._writes = {}
+        self._deleted = set()
+        self._started = time.perf_counter()
+        self._timeout_at = (None if stage.timeout is None
+                            else self._started + stage.timeout)
         self.written = set()
+
+    # -- transactional machinery --------------------------------------------
+
+    def _checkpoint(self):
+        """Cooperative cancellation / timeout check at every access."""
+        if self._control is not None:
+            self._control.checkpoint(self._stage.name)
+        if (self._timeout_at is not None
+                and time.perf_counter() > self._timeout_at):
+            raise StageTimeout(self._stage.name, self._stage.timeout)
+
+    def elapsed(self):
+        """Seconds since this attempt's view was created."""
+        return time.perf_counter() - self._started
+
+    def timed_out(self):
+        """Whether the attempt has outlived its timeout budget."""
+        return (self._timeout_at is not None
+                and time.perf_counter() > self._timeout_at)
+
+    def commit(self):
+        """Atomically apply buffered writes/deletes to shared state.
+
+        Returns ``(writes, deleted)``: the dict of committed values
+        and the frozenset of deleted keys — exactly the replayable
+        delta the cache stores (deletions included as tombstones).
+        """
+        with self._lock:
+            self._state.update(self._writes)
+            for key in self._deleted:
+                self._state.pop(key, None)
+        return dict(self._writes), frozenset(self._deleted)
 
     # -- contract checks ----------------------------------------------------
 
@@ -212,32 +343,55 @@ class _ContractView(MutableMapping):
     # -- MutableMapping interface -------------------------------------------
 
     def __getitem__(self, key):
+        self._checkpoint()
         self._check_read(key)
+        if key in self._writes:
+            return self._writes[key]
+        if key in self._deleted:
+            raise KeyError(key)
         with self._lock:
             return self._state[key]
 
     def __setitem__(self, key, value):
+        self._checkpoint()
         self._check_write(key)
-        with self._lock:
-            self._state[key] = value
+        self._deleted.discard(key)
+        self._writes[key] = value
         self.written.add(key)
 
     def __delitem__(self, key):
+        self._checkpoint()
         self._check_write(key)
-        with self._lock:
-            del self._state[key]
+        if key in self._writes:
+            del self._writes[key]
+        elif key in self._deleted:
+            raise KeyError(key)
+        else:
+            with self._lock:
+                if key not in self._state:
+                    raise KeyError(key)
+        self._deleted.add(key)
         self.written.add(key)
 
     def __iter__(self):
+        self._checkpoint()
         with self._lock:
             keys = list(self._state)
-        return iter([key for key in keys if self._visible(key)])
+        merged = [key for key in keys
+                  if key not in self._deleted and key not in self._writes]
+        merged.extend(self._writes)
+        return iter([key for key in merged if self._visible(key)])
 
     def __len__(self):
         return len(list(iter(self)))
 
     def __contains__(self, key):
+        self._checkpoint()
         if not self._visible(key):
+            return False
+        if key in self._writes:
+            return True
+        if key in self._deleted:
             return False
         with self._lock:
             return key in self._state
