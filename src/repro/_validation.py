@@ -19,7 +19,13 @@ __all__ = [
     "check_non_negative",
     "check_probability_vector",
     "ensure_rng",
+    "trapezoid",
 ]
+
+#: Trapezoidal integration, portable across numpy versions:
+#: ``np.trapezoid`` only exists on numpy >= 2.0 while the project pins
+#: ``numpy>=1.24`` (where the same routine is ``np.trapz``).
+trapezoid = getattr(np, "trapezoid", None) or np.trapz
 
 
 def as_float_array(values, name, *, ndim=None, allow_empty=False):

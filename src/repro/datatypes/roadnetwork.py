@@ -28,6 +28,190 @@ from .._validation import ensure_rng
 __all__ = ["RoadNetwork"]
 
 
+class _GeometryIndex:
+    """Immutable numpy snapshot of a network's geometry + uniform grid.
+
+    Built once per network revision (keyed on node/edge counts) and
+    shared by every geometric query.  The grid buckets edges by their
+    bounding boxes and nodes by their cells, so ``candidate_edges`` and
+    ``nearest_node`` inspect only nearby cells instead of scanning the
+    whole graph.
+    """
+
+    def __init__(self, graph):
+        self.edge_list = list(graph.edges())
+        self.node_list = list(graph.nodes())
+        positions = {
+            node: graph.nodes[node]["pos"] for node in self.node_list
+        }
+        self.node_xy = np.asarray(
+            [positions[node] for node in self.node_list], dtype=float
+        ).reshape(len(self.node_list), 2)
+        if self.edge_list:
+            self.a = np.asarray(
+                [positions[u] for u, _ in self.edge_list], dtype=float)
+            self.b = np.asarray(
+                [positions[v] for _, v in self.edge_list], dtype=float)
+        else:
+            self.a = np.zeros((0, 2))
+            self.b = np.zeros((0, 2))
+        self.ab = self.b - self.a
+        self.norm2 = (self.ab ** 2).sum(axis=1)
+
+        # Uniform grid over the node bounding box.  Cell size targets a
+        # handful of edges per cell; degenerate (empty / point) networks
+        # collapse to a single cell.
+        lo = self.node_xy.min(axis=0) if len(self.node_list) else \
+            np.zeros(2)
+        hi = self.node_xy.max(axis=0) if len(self.node_list) else \
+            np.zeros(2)
+        span = float(max(hi[0] - lo[0], hi[1] - lo[1]))
+        n_edges = max(len(self.edge_list), 1)
+        self.cell = span / math.ceil(math.sqrt(n_edges)) if span > 0 \
+            else 1.0
+        self.origin = lo
+        shape = np.maximum(
+            np.ceil((hi - lo) / self.cell).astype(int) + 1, 1)
+        self.nx_cells, self.ny_cells = int(shape[0]), int(shape[1])
+
+        self._edge_cells = {}
+        if len(self.edge_list):
+            lo_cells = self._cell_of(np.minimum(self.a, self.b))
+            hi_cells = self._cell_of(np.maximum(self.a, self.b))
+            for index in range(len(self.edge_list)):
+                x0, y0 = lo_cells[index]
+                x1, y1 = hi_cells[index]
+                for cx in range(x0, x1 + 1):
+                    for cy in range(y0, y1 + 1):
+                        self._edge_cells.setdefault((cx, cy),
+                                                    []).append(index)
+        self._edge_cells = {
+            key: np.asarray(indices, dtype=np.intp)
+            for key, indices in self._edge_cells.items()
+        }
+
+        self._node_cells = {}
+        if len(self.node_list):
+            for index, (cx, cy) in enumerate(self._cell_of(self.node_xy)):
+                self._node_cells.setdefault((cx, cy), []).append(index)
+        self._node_cells = {
+            key: np.asarray(indices, dtype=np.intp)
+            for key, indices in self._node_cells.items()
+        }
+
+    def _cell_of(self, points):
+        """Integer cell coordinates (unclipped) of ``(..., 2)`` points."""
+        coords = np.floor(
+            (np.asarray(points, dtype=float) - self.origin) / self.cell
+        ).astype(int)
+        return coords
+
+    def project_many(self, point, indices):
+        """Vectorized point-to-segment projection over edge ``indices``.
+
+        Returns ``(distances, fractions)`` matching
+        :meth:`RoadNetwork.project_point` on each edge.
+        """
+        px, py = float(point[0]), float(point[1])
+        a = self.a[indices]
+        ab = self.ab[indices]
+        norm2 = self.norm2[indices]
+        rel = np.array([px, py]) - a
+        with np.errstate(invalid="ignore"):
+            fractions = np.where(
+                norm2 > 0,
+                (rel * ab).sum(axis=1) / np.where(norm2 > 0, norm2, 1.0),
+                0.0,
+            )
+        fractions = np.clip(fractions, 0.0, 1.0)
+        closest = a + fractions[:, None] * ab
+        distances = np.hypot(px - closest[:, 0], py - closest[:, 1])
+        return distances, fractions
+
+    def edges_near(self, point, radius):
+        """Indices of edges whose grid cells intersect the query disk.
+
+        A conservative superset (grid cells overestimate the segment),
+        in ascending edge-index order.
+        """
+        px, py = float(point[0]), float(point[1])
+        lo = self._cell_of(np.array([px - radius, py - radius]))
+        hi = self._cell_of(np.array([px + radius, py + radius]))
+        x0, y0 = max(int(lo[0]), 0), max(int(lo[1]), 0)
+        x1 = min(int(hi[0]), self.nx_cells - 1)
+        y1 = min(int(hi[1]), self.ny_cells - 1)
+        if x1 < x0 or y1 < y0:
+            return np.empty(0, dtype=np.intp)
+        buckets = [
+            self._edge_cells[(cx, cy)]
+            for cx in range(x0, x1 + 1)
+            for cy in range(y0, y1 + 1)
+            if (cx, cy) in self._edge_cells
+        ]
+        if not buckets:
+            return np.empty(0, dtype=np.intp)
+        return np.unique(np.concatenate(buckets))
+
+    def _ring_nodes(self, center, ring):
+        """Node indices in the cells at Chebyshev distance ``ring``."""
+        cx, cy = center
+        cells = []
+        if ring == 0:
+            cells.append((cx, cy))
+        else:
+            for dx in range(-ring, ring + 1):
+                cells.append((cx + dx, cy - ring))
+                cells.append((cx + dx, cy + ring))
+            for dy in range(-ring + 1, ring):
+                cells.append((cx - ring, cy + dy))
+                cells.append((cx + ring, cy + dy))
+        buckets = [
+            self._node_cells[cell] for cell in cells
+            if cell in self._node_cells
+        ]
+        if not buckets:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(buckets)
+
+    def nearest_node_index(self, point):
+        """Index (into ``node_list``) of the node closest to ``point``.
+
+        Expanding-ring search: cells at Chebyshev ring ``k`` from the
+        query cell contain no point closer than ``(k - 1) * cell``, so
+        the search stops as soon as the best distance found beats that
+        lower bound for every unvisited ring.
+        """
+        if not len(self.node_list):
+            return None
+        px, py = float(point[0]), float(point[1])
+        center = tuple(self._cell_of(np.array([px, py])))
+        # Rings needed to cover every populated cell from the center.
+        max_ring = max(
+            max(abs(cx - center[0]), abs(cy - center[1]))
+            for cx, cy in self._node_cells
+        )
+        best_index, best_distance = None, math.inf
+        for ring in range(max_ring + 1):
+            if best_index is not None and \
+                    (ring - 1) * self.cell > best_distance:
+                break
+            indices = np.sort(self._ring_nodes(center, ring))
+            if not len(indices):
+                continue
+            xy = self.node_xy[indices]
+            distances = np.hypot(px - xy[:, 0], py - xy[:, 1])
+            argmin = int(np.argmin(distances))
+            distance = float(distances[argmin])
+            index = int(indices[argmin])
+            # Ties break toward the lowest node index, matching the
+            # brute-force scan in graph iteration order.
+            if distance < best_distance or (
+                    distance == best_distance and index < best_index):
+                best_distance = distance
+                best_index = index
+        return best_index
+
+
 class RoadNetwork:
     """A directed, spatially embedded road graph.
 
@@ -44,6 +228,9 @@ class RoadNetwork:
         for u, v, data in self._graph.edges(data=True):
             if data.get("length", 0) <= 0:
                 raise ValueError(f"edge ({u!r}, {v!r}) needs a positive length")
+        self._geometry_index = None
+        self._geometry_key = None
+        self._adjacency_cache = {}
 
     # -- construction ------------------------------------------------------
 
@@ -148,6 +335,95 @@ class RoadNetwork:
 
     # -- geometry ------------------------------------------------------------
 
+    def _revision(self):
+        """Cheap ``(n_nodes, n_edges)`` fingerprint of the graph shape.
+
+        Uses the successor dicts directly: ``number_of_edges()`` walks a
+        degree view and is too slow to run per geometric query.
+        """
+        succ = getattr(self._graph, "_succ", None)
+        if succ is None:  # non-standard graph implementation
+            return (self._graph.number_of_nodes(),
+                    self._graph.number_of_edges())
+        return len(succ), sum(map(len, succ.values()))
+
+    def _geometry(self):
+        """The lazily built spatial index for the current graph revision.
+
+        The index caches node/edge coordinates as numpy arrays plus a
+        uniform grid, keyed on ``(n_nodes, n_edges)``: adding or removing
+        nodes/edges rebuilds it automatically.  In-place *coordinate*
+        mutation of an existing node is not detectable this way — call
+        :meth:`invalidate_geometry` after moving nodes.
+        """
+        key = self._revision()
+        if self._geometry_index is None or self._geometry_key != key:
+            self._geometry_index = _GeometryIndex(self._graph)
+            self._geometry_key = key
+        return self._geometry_index
+
+    def _weighted_adjacency(self, weight="length"):
+        """Plain-dict successor lists ``{u: [(v, w), ...]}``, cached.
+
+        Dijkstra over networkx edge views spends most of its time in
+        attribute-dict indirection; snapshotting the weights once per
+        graph revision makes repeated single-source searches cheap.
+        """
+        key = self._revision()
+        cached = self._adjacency_cache.get(weight)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        adjacency = {
+            node: [
+                (succ, float(data[weight]))
+                for succ, data in neighbors.items()
+            ]
+            for node, neighbors in self._graph._succ.items()
+        }
+        self._adjacency_cache[weight] = (key, adjacency)
+        return adjacency
+
+    def _indexed_adjacency(self, weight="length"):
+        """Integer-indexed adjacency: ``(nodes, index_of, adjacency)``.
+
+        ``adjacency[i]`` lists ``(edge_weight, successor_index)`` pairs.
+        Dense integer indices let single-source searches run over plain
+        lists and return numpy arrays, which is what the vectorized map
+        matcher gathers from.  Cached per graph revision.
+        """
+        key = self._revision()
+        cached = self._adjacency_cache.get(("indexed", weight))
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        nodes = list(self._graph.nodes())
+        index_of = {node: i for i, node in enumerate(nodes)}
+        adjacency = [
+            [
+                (float(data[weight]), index_of[succ])
+                for succ, data in self._graph.adj[node].items()
+            ]
+            for node in nodes
+        ]
+        snapshot = (nodes, index_of, adjacency)
+        self._adjacency_cache[("indexed", weight)] = (key, snapshot)
+        return snapshot
+
+    def node_index(self):
+        """``(index_of, nodes)`` for array-based queries.
+
+        ``index_of[node]`` is the row of ``node`` in any array returned
+        by :meth:`dijkstra_array`; ``nodes[i]`` inverts the mapping.
+        Stable for a given graph revision.
+        """
+        nodes, index_of, _ = self._indexed_adjacency()
+        return index_of, nodes
+
+    def invalidate_geometry(self):
+        """Drop the cached spatial index (after in-place ``pos`` edits)."""
+        self._geometry_index = None
+        self._geometry_key = None
+        self._adjacency_cache = {}
+
     def edge_endpoints(self, u, v):
         """Coordinates of both endpoints as two ``(x, y)`` tuples."""
         return self.position(u), self.position(v)
@@ -179,8 +455,30 @@ class RoadNetwork:
     def candidate_edges(self, point, radius):
         """Edges whose segment passes within ``radius`` of ``point``.
 
-        Returns ``[(u, v, distance, fraction), ...]`` sorted by distance.
+        Returns ``[(u, v, distance, fraction), ...]`` sorted by distance
+        (ties in edge insertion order).  Served by the uniform-grid
+        spatial index: only edges in grid cells overlapping the query
+        disk are projected, and the projection runs vectorized over the
+        whole candidate set.
         """
+        geometry = self._geometry()
+        indices = geometry.edges_near(point, float(radius))
+        if not len(indices):
+            return []
+        distances, fractions = geometry.project_many(point, indices)
+        keep = distances <= radius
+        indices = indices[keep]
+        distances = distances[keep]
+        fractions = fractions[keep]
+        order = np.argsort(distances, kind="stable")
+        return [
+            (*geometry.edge_list[indices[i]],
+             float(distances[i]), float(fractions[i]))
+            for i in order
+        ]
+
+    def _candidate_edges_scan(self, point, radius):
+        """Brute-force O(E) reference for :meth:`candidate_edges`."""
         candidates = []
         for u, v in self._graph.edges():
             distance, fraction = self.project_point(point, u, v)
@@ -190,7 +488,14 @@ class RoadNetwork:
         return candidates
 
     def nearest_node(self, point):
-        """The node closest to planar ``point``."""
+        """The node closest to planar ``point`` (grid-index backed)."""
+        index = self._geometry().nearest_node_index(point)
+        if index is None:
+            return None
+        return self._geometry().node_list[index]
+
+    def _nearest_node_scan(self, point):
+        """Brute-force O(V) reference for :meth:`nearest_node`."""
         px, py = point
         best, best_distance = None, math.inf
         for node in self._graph.nodes():
@@ -247,8 +552,16 @@ class RoadNetwork:
             return 0.0
         return 1.0 - len(edges_a & edges_b) / len(union)
 
-    def dijkstra_all(self, source, weight="length"):
-        """Distances from ``source`` to every reachable node (lazy heap)."""
+    def dijkstra_all(self, source, weight="length", *, cutoff=None):
+        """Distances from ``source`` to every reachable node (lazy heap).
+
+        With ``cutoff`` the search stops expanding past that radius:
+        every node whose true distance is ``<= cutoff`` is returned with
+        its exact distance, farther nodes are omitted.  Bounded searches
+        are what keeps map matching's transition computation cheap on
+        large networks.
+        """
+        adjacency = self._weighted_adjacency(weight)
         distances = {source: 0.0}
         heap = [(0.0, source)]
         visited = set()
@@ -257,9 +570,39 @@ class RoadNetwork:
             if node in visited:
                 continue
             visited.add(node)
-            for succ in self._graph.successors(node):
-                cost = d + float(self._graph.edges[node, succ][weight])
+            for succ, edge_weight in adjacency.get(node, ()):
+                cost = d + edge_weight
+                if cutoff is not None and cost > cutoff:
+                    continue
                 if cost < distances.get(succ, math.inf):
                     distances[succ] = cost
                     heapq.heappush(heap, (cost, succ))
         return distances
+
+    def dijkstra_array(self, source, weight="length", *, cutoff=None):
+        """:meth:`dijkstra_all` as a dense float array over node indices.
+
+        Row order follows :meth:`node_index`; unreachable nodes (or
+        nodes beyond ``cutoff``) hold ``inf``.  Running over integer
+        adjacency lists and returning an array makes this the fast
+        distance source for the vectorized map matcher, which gathers
+        whole candidate columns at once.
+        """
+        nodes, index_of, adjacency = self._indexed_adjacency(weight)
+        distances = [math.inf] * len(nodes)
+        source_index = index_of[source]
+        distances[source_index] = 0.0
+        heap = [(0.0, source_index)]
+        push, pop = heapq.heappush, heapq.heappop
+        while heap:
+            d, node = pop(heap)
+            if d > distances[node]:  # stale entry (lazy deletion)
+                continue
+            for edge_weight, succ in adjacency[node]:
+                cost = d + edge_weight
+                if cutoff is not None and cost > cutoff:
+                    continue
+                if cost < distances[succ]:
+                    distances[succ] = cost
+                    push(heap, (cost, succ))
+        return np.asarray(distances, dtype=float)

@@ -18,6 +18,9 @@ reliable paths, loose ones favour fast-on-average paths.
 
 from __future__ import annotations
 
+import math
+from collections import OrderedDict
+
 import numpy as np
 
 from .._validation import check_positive
@@ -26,6 +29,9 @@ from .stochastic import dominance_prune
 from .utility import DeadlineUtility, UtilityFunction
 
 __all__ = ["StochasticRouter"]
+
+#: Memo sentinel for paths the cost model cannot evaluate.
+_UNCOVERED = object()
 
 
 class StochasticRouter:
@@ -46,10 +52,20 @@ class StochasticRouter:
         geometric ``length``; pass e.g. ``"mean_time"`` after attaching
         expected travel times so fast-but-long corridors are in the
         pool).
+    memo_size:
+        Max entries in each serving memo (candidate paths per OD pair,
+        path distributions per departure window).  ``0`` disables
+        memoization entirely.
+    memo_window_minutes:
+        Width of the departure-time buckets keying the distribution
+        memo: queries for the same path whose departures fall in the
+        same window share one cached distribution (computed at the
+        first query's exact departure minute).
     """
 
     def __init__(self, network, cost_model, *, n_candidates=8,
-                 weight="length"):
+                 weight="length", memo_size=1024,
+                 memo_window_minutes=5.0):
         if not isinstance(network, RoadNetwork):
             raise TypeError("network must be a RoadNetwork")
         if not hasattr(cost_model, "path_distribution"):
@@ -61,12 +77,90 @@ class StochasticRouter:
         self.n_candidates = int(check_positive(n_candidates,
                                                "n_candidates"))
         self.weight = str(weight)
+        if memo_size < 0:
+            raise ValueError(f"memo_size must be >= 0, got {memo_size}")
+        self.memo_size = int(memo_size)
+        self.memo_window_minutes = float(check_positive(
+            memo_window_minutes, "memo_window_minutes"))
+        self._path_memo = OrderedDict()
+        self._distribution_memo = OrderedDict()
+        self._memo_hits = 0
+        self._memo_misses = 0
+
+    # -- serving memos -----------------------------------------------------
+
+    def _memo_get(self, memo, key):
+        if self.memo_size == 0:
+            return None
+        value = memo.get(key)
+        if value is not None:
+            memo.move_to_end(key)
+            self._memo_hits += 1
+        else:
+            self._memo_misses += 1
+        return value
+
+    def _memo_put(self, memo, key, value):
+        if self.memo_size == 0:
+            return
+        memo[key] = value
+        memo.move_to_end(key)
+        while len(memo) > self.memo_size:
+            memo.popitem(last=False)
+
+    def cache_info(self):
+        """Serving-memo observability: hits, misses and sizes."""
+        return {
+            "hits": self._memo_hits,
+            "misses": self._memo_misses,
+            "path_memo_size": len(self._path_memo),
+            "distribution_memo_size": len(self._distribution_memo),
+            "maxsize": self.memo_size,
+        }
+
+    def clear_cache(self):
+        """Drop both memos (call after mutating network or cost model)."""
+        self._path_memo.clear()
+        self._distribution_memo.clear()
+        self._memo_hits = 0
+        self._memo_misses = 0
+
+    def _path_distribution(self, path, departure_minute):
+        """Content-keyed, departure-windowed distribution lookup.
+
+        Returns ``_UNCOVERED`` for paths the cost model cannot
+        evaluate, so repeated queries for uncovered roads are also
+        served from the memo.
+        """
+        window = int(math.floor(
+            float(departure_minute) / self.memo_window_minutes))
+        key = (tuple(path), window)
+        cached = self._memo_get(self._distribution_memo, key)
+        if cached is not None:
+            return cached
+        try:
+            distribution = self.cost_model.path_distribution(
+                path, departure_minute)
+        except KeyError:
+            distribution = _UNCOVERED
+        self._memo_put(self._distribution_memo, key, distribution)
+        return distribution
 
     def candidate_paths(self, origin, destination):
-        """K-shortest simple paths by ``weight`` (the candidate pool)."""
-        return self.network.k_shortest_paths(origin, destination,
-                                             self.n_candidates,
-                                             weight=self.weight)
+        """K-shortest simple paths by ``weight`` (the candidate pool).
+
+        Memoized per ``(origin, destination)`` — Yen's algorithm is the
+        most expensive part of a routing query, and fleet serving
+        repeats OD pairs constantly.
+        """
+        key = (origin, destination)
+        cached = self._memo_get(self._path_memo, key)
+        if cached is None:
+            cached = self.network.k_shortest_paths(origin, destination,
+                                                   self.n_candidates,
+                                                   weight=self.weight)
+            self._memo_put(self._path_memo, key, cached)
+        return cached
 
     def candidate_distributions(self, origin, destination,
                                 departure_minute=0.0):
@@ -78,10 +172,9 @@ class StochasticRouter:
         paths = []
         distributions = []
         for path in self.candidate_paths(origin, destination):
-            try:
-                distribution = self.cost_model.path_distribution(
-                    path, departure_minute)
-            except KeyError:
+            distribution = self._path_distribution(path,
+                                                   departure_minute)
+            if distribution is _UNCOVERED:
                 continue
             paths.append(path)
             distributions.append(distribution)
@@ -107,6 +200,27 @@ class StochasticRouter:
                    key=lambda i: utility.expected(distributions[i]))
         return paths[best], distributions[best], \
             utility.expected(distributions[best])
+
+    def route_many(self, queries, utility, *, prune=True):
+        """Batch serving: answer ``(origin, destination, departure)``
+        queries.
+
+        Repeated OD pairs reuse the memoized candidate pool and
+        repeated ``(path, departure-window)`` pairs reuse the memoized
+        distributions, so sustained traffic with recurring queries is
+        served at cache speed.  Each result is the :meth:`best_path`
+        triple, or ``None`` when no candidate path is covered by the
+        cost model.
+        """
+        results = []
+        for origin, destination, departure_minute in queries:
+            try:
+                results.append(self.best_path(
+                    origin, destination, utility,
+                    departure_minute=departure_minute, prune=prune))
+            except (ValueError, KeyError):
+                results.append(None)
+        return results
 
     def on_time_route(self, origin, destination, deadline, *,
                       departure_minute=0.0):

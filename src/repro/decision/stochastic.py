@@ -32,12 +32,21 @@ __all__ = [
 ]
 
 
-def _common_grid(first, second, n_grid=256):
-    low = min(first.min(), second.min())
-    high = max(first.max(), second.max())
-    if high <= low:
-        high = low + 1e-9
-    return np.linspace(low, high, n_grid)
+def _support_union(candidates):
+    """Sorted union of the candidates' support points."""
+    return np.unique(np.concatenate([c.support for c in candidates]))
+
+
+def _upper_partial_moments(candidate, grid):
+    """``E[(X - y)+]`` at every grid point ``y`` — exact, no quadrature.
+
+    The survival function of a histogram is a step function, so its
+    right-tail integral is piecewise linear with breakpoints exactly at
+    the support points; evaluating the sum directly is both exact and
+    vectorized.
+    """
+    excess = np.maximum(candidate.support[:, None] - grid[None, :], 0.0)
+    return candidate.probabilities @ excess
 
 
 def first_order_dominates(first, second, *, tol=1e-9):
@@ -70,26 +79,132 @@ def second_order_dominates(first, second, *, tol=1e-9):
     function — never exceeds ``second``'s and is strictly smaller
     somewhere.  Every risk-averse (convex-disutility) decision maker
     then prefers ``first``.  FSD implies SSD.
+
+    Both tails are piecewise linear with breakpoints at the union of
+    the two supports, so evaluating the exact upper partial moments on
+    that union decides the criterion *exactly* (the pre-1.3 Riemann
+    approximation carried a one-grid-step slack that made SSD overly
+    conservative).
     """
     if not isinstance(first, Histogram) or not isinstance(second,
                                                           Histogram):
         raise TypeError("arguments must be Histograms")
-    grid = _common_grid(first, second)
-    step = grid[1] - grid[0]
-    # Right-tail integrals of the survival functions.
-    tail_first = np.cumsum(first.sf(grid)[::-1])[::-1] * step
-    tail_second = np.cumsum(second.sf(grid)[::-1])[::-1] * step
-    scale = max(tail_second[0], 1.0)
-    # The Riemann sums carry O(step) error; treat differences below one
-    # grid step as ties.
-    slack = step + tol * scale
+    grid = _support_union([first, second])
+    tail_first = _upper_partial_moments(first, grid)
+    tail_second = _upper_partial_moments(second, grid)
+    slack = tol * max(tail_second[0], 1.0)
     if np.any(tail_first > tail_second + slack):
         return False
     return bool(np.any(tail_first < tail_second - slack))
 
 
-def dominance_prune(candidates, *, order=1):
+#: Coarse-prefilter resolution: the necessary-condition screen samples
+#: this many columns of the full union-support matrix per pair.
+_COARSE_COLUMNS = 24
+
+#: Max candidate pairs per broadcast block in the exact pass; bounds
+#: the temporary ``(pairs, G)`` arrays to a few tens of megabytes.
+_PAIR_BLOCK = 4096
+
+
+def _coarse_columns(n_grid):
+    """Evenly spaced column indices for the prefilter (ends included)."""
+    return np.unique(
+        np.linspace(0, n_grid - 1, min(n_grid, _COARSE_COLUMNS)).astype(int)
+    )
+
+
+def _dominated_mask_fsd(candidates, tol):
+    """Boolean mask of FSD-dominated candidates (matrix kernel).
+
+    CDFs are step functions jumping only at support points, so a single
+    shared union-support grid decides every pair exactly — the same
+    verdicts as k² :func:`first_order_dominates` calls.  Two passes:
+
+    1. a coarse *necessary-condition* screen — ``CDF_i >= CDF_j``
+       everywhere on the full grid implies it on any column subset, so
+       any pair violating the subset is ruled out for the price of a
+       tiny ``(k, k, C)`` broadcast;
+    2. an exact check of the surviving pairs on the full grid.
+
+    In the realistic regime (heavily overlapping candidate costs, few
+    dominations) pass 1 eliminates almost every pair, so the exact pass
+    touches a handful of rows instead of all k².
+    """
+    grid = _support_union(candidates)
+    cdf = np.vstack([c.cdf(grid) for c in candidates])
+    coarse = cdf[:, _coarse_columns(cdf.shape[1])]
+    maybe = (coarse[:, None, :] >= coarse[None, :, :] - tol).all(axis=2)
+    np.fill_diagonal(maybe, False)
+    dominated = np.zeros(len(candidates), dtype=bool)
+    # Champion pass: one exact row-vs-all check by the stochastically
+    # smallest candidate settles most dominated columns up front, so
+    # the pair sweep only works the contested remainder.
+    champion = int(np.argmax(cdf.sum(axis=1)))
+    diff = cdf[champion] - cdf
+    dominated |= (diff.min(axis=1) >= -tol) & (diff.max(axis=1) > tol)
+    maybe[:, dominated] = False
+    rows, cols = np.nonzero(maybe)
+    for begin in range(0, len(rows), _PAIR_BLOCK):
+        i = rows[begin:begin + _PAIR_BLOCK]
+        j = cols[begin:begin + _PAIR_BLOCK]
+        diff = cdf[i] - cdf[j]
+        # i dominates j: CDF_i >= CDF_j everywhere, strictly somewhere.
+        hit = (diff.min(axis=1) >= -tol) & (diff.max(axis=1) > tol)
+        dominated[j[hit]] = True
+    return dominated
+
+
+def _dominated_mask_ssd(candidates, tol):
+    """Boolean mask of SSD-dominated candidates (matrix kernel).
+
+    Exact upper partial moments on the shared union-support grid; the
+    tails are piecewise linear with breakpoints inside the grid, so the
+    pair comparison is exact.  Same two-pass structure as
+    :func:`_dominated_mask_fsd` — dominance requires ``tail_i <=
+    tail_j`` everywhere on the full grid, hence on any column subset,
+    so the coarse screen is a sound prefilter.
+    """
+    grid = _support_union(candidates)
+    tails = np.vstack([
+        _upper_partial_moments(c, grid) for c in candidates
+    ])
+    # Slack keyed on the dominated column, matching
+    # second_order_dominates.
+    slack = tol * np.maximum(tails[:, 0], 1.0)
+    coarse = tails[:, _coarse_columns(tails.shape[1])]
+    maybe = (
+        coarse[:, None, :] <= coarse[None, :, :] + slack[None, :, None]
+    ).all(axis=2)
+    np.fill_diagonal(maybe, False)
+    dominated = np.zeros(len(candidates), dtype=bool)
+    # Champion pass, as in the FSD kernel: the candidate with the
+    # lowest aggregate tail knocks out most dominated columns exactly.
+    champion = int(np.argmin(tails.sum(axis=1)))
+    diff = tails[champion] - tails
+    dominated |= (diff.max(axis=1) <= slack) & (diff.min(axis=1) < -slack)
+    maybe[:, dominated] = False
+    rows, cols = np.nonzero(maybe)
+    for begin in range(0, len(rows), _PAIR_BLOCK):
+        i = rows[begin:begin + _PAIR_BLOCK]
+        j = cols[begin:begin + _PAIR_BLOCK]
+        diff = tails[i] - tails[j]
+        # i dominates j: tail_i <= tail_j everywhere, strictly below
+        # somewhere.
+        hit = (diff.max(axis=1) <= slack[j]) & \
+            (diff.min(axis=1) < -slack[j])
+        dominated[j[hit]] = True
+    return dominated
+
+
+def dominance_prune(candidates, *, order=1, tol=1e-9):
     """Indices of candidates not dominated by any other candidate.
+
+    All k² dominance relations are decided by one matrix kernel on a
+    shared union-support grid (see :func:`_dominated_mask_fsd` /
+    :func:`_dominated_mask_ssd`) instead of k² independent pairwise
+    calls — same verdicts, one to two orders of magnitude faster at
+    fleet-scale candidate counts.
 
     Parameters
     ----------
@@ -98,18 +213,39 @@ def dominance_prune(candidates, *, order=1):
     order:
         1 (FSD: safe for all decreasing utilities) or 2 (SSD: safe for
         all risk-averse utilities; prunes more).
+    tol:
+        Comparison tolerance forwarded to the dominance criteria.
 
     Returns
     -------
     list of int
         Surviving candidate indices, in the original order.
     """
-    if order == 1:
-        dominates = first_order_dominates
-    elif order == 2:
-        dominates = second_order_dominates
-    else:
+    if order not in (1, 2):
         raise ValueError(f"order must be 1 or 2, got {order!r}")
+    candidates = list(candidates)
+    for candidate in candidates:
+        if not isinstance(candidate, Histogram):
+            raise TypeError("candidates must be Histograms")
+    if not candidates:
+        return []
+    if order == 1:
+        dominated = _dominated_mask_fsd(candidates, tol)
+    else:
+        dominated = _dominated_mask_ssd(candidates, tol)
+    survivors = [int(i) for i in np.flatnonzero(~dominated)]
+    if not survivors:  # all mutually dominated within tolerance
+        survivors = list(range(len(candidates)))
+    return survivors
+
+
+def _dominance_prune_pairwise(candidates, *, order=1, tol=1e-9):
+    """Pre-kernel reference: k² independent pairwise dominance calls.
+
+    Kept as the equivalence oracle for tests and the E26 benchmark.
+    """
+    dominates = (first_order_dominates if order == 1
+                 else second_order_dominates)
     candidates = list(candidates)
     survivors = []
     for index, candidate in enumerate(candidates):
@@ -117,12 +253,12 @@ def dominance_prune(candidates, *, order=1):
         for other_index, other in enumerate(candidates):
             if other_index == index:
                 continue
-            if dominates(other, candidate):
+            if dominates(other, candidate, tol=tol):
                 dominated = True
                 break
         if not dominated:
             survivors.append(index)
-    if not survivors:  # all mutually dominated within tolerance
+    if not survivors:
         survivors = list(range(len(candidates)))
     return survivors
 

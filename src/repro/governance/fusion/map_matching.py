@@ -17,11 +17,20 @@ Model (exactly the classic formulation):
   drives roughly as far along the network as the raw points moved
   (``beta`` = tolerance scale);
 * decoding is exact Viterbi.
+
+The hot path is fully vectorized: emissions and transitions are built
+as numpy matrices per consecutive layer pair and the Viterbi recurrence
+is a broadcast max.  Network distances come from *bounded* Dijkstra
+searches (radius ``straight + beta_cutoff * beta`` — farther transitions
+score below ``-beta_cutoff`` log-probability and are treated as
+unreachable) memoized in a bounded LRU cache shared across points and
+across :meth:`HmmMapMatcher.match_many` batches.
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 
 import numpy as np
 
@@ -47,10 +56,19 @@ class HmmMapMatcher:
         Max distance from a point to a candidate edge.
     max_candidates:
         Keep only the closest candidates per point (for speed).
+    beta_cutoff:
+        Dijkstra search radius in units of ``beta`` beyond the
+        straight-line step distance.  Transitions whose detour exceeds
+        this many betas carry log-probability below ``-beta_cutoff`` and
+        are treated as unreachable.  ``None`` disables the bound
+        (exhaustive single-source searches, the pre-index behavior).
+    distance_cache_size:
+        Max number of per-node Dijkstra results kept in the LRU cache.
     """
 
     def __init__(self, network, *, sigma=0.3, beta=1.0,
-                 candidate_radius=None, max_candidates=8):
+                 candidate_radius=None, max_candidates=8,
+                 beta_cutoff=30.0, distance_cache_size=4096):
         if not isinstance(network, RoadNetwork):
             raise TypeError("network must be a RoadNetwork")
         self.network = network
@@ -62,18 +80,72 @@ class HmmMapMatcher:
         )
         self.max_candidates = int(check_positive(max_candidates,
                                                  "max_candidates"))
-        self._distance_cache = {}
+        self.beta_cutoff = (
+            float(check_positive(beta_cutoff, "beta_cutoff"))
+            if beta_cutoff is not None else None
+        )
+        self.distance_cache_size = int(check_positive(
+            distance_cache_size, "distance_cache_size"))
+        self._distance_cache = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # -- internals -----------------------------------------------------------
 
-    def _distances_from(self, node):
-        cached = self._distance_cache.get(node)
-        if cached is None:
-            cached = self.network.dijkstra_all(node)
-            self._distance_cache[node] = cached
-        return cached
+    def _distances_from(self, node, cutoff=None):
+        """Bounded single-source distance *array*, memoized per node (LRU).
 
-    def _route_distance(self, candidate_a, candidate_b):
+        Returns the :meth:`RoadNetwork.dijkstra_array` row for ``node``
+        (``inf`` beyond the cutoff / unreachable).  A cached result
+        computed with a larger (or unbounded) cutoff serves any smaller
+        request; a larger request recomputes and replaces the entry.
+        """
+        entry = self._distance_cache.get(node)
+        if entry is not None:
+            cached_cutoff, distances = entry
+            if cached_cutoff is None or (
+                    cutoff is not None and cached_cutoff >= cutoff):
+                self._distance_cache.move_to_end(node)
+                self._cache_hits += 1
+                return distances
+        self._cache_misses += 1
+        distances = self.network.dijkstra_array(node, cutoff=cutoff)
+        self._distance_cache[node] = (cutoff, distances)
+        self._distance_cache.move_to_end(node)
+        while len(self._distance_cache) > self.distance_cache_size:
+            self._distance_cache.popitem(last=False)
+        return distances
+
+    def _cutoff_for(self, straight):
+        """Dijkstra radius for a step of straight-line length ``straight``.
+
+        Quantized *up* to 1/8 of the ``beta_cutoff * beta`` margin so
+        consecutive steps with slightly different straight-line gaps ask
+        for the same radius and share one cache entry per node, instead
+        of forcing an upgrade-recompute for every fractionally larger
+        request.
+        """
+        if self.beta_cutoff is None:
+            return None
+        quantum = self.beta_cutoff * self.beta / 8.0
+        exact = straight + self.beta_cutoff * self.beta
+        return quantum * math.ceil(exact / quantum)
+
+    def cache_info(self):
+        """Distance-cache observability: hits, misses, size, maxsize."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._distance_cache),
+            "maxsize": self.distance_cache_size,
+        }
+
+    def clear_cache(self):
+        self._distance_cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def _route_distance(self, candidate_a, candidate_b, cutoff=None):
         """Network distance between two on-edge positions."""
         (u1, v1, _, f1) = candidate_a
         (u2, v2, _, f2) = candidate_b
@@ -82,15 +154,82 @@ class HmmMapMatcher:
         if (u1, v1) == (u2, v2) and f2 >= f1:
             return (f2 - f1) * length_a
         remaining = (1.0 - f1) * length_a
-        distances = self._distances_from(v1)
-        through = distances.get(u2)
-        if through is None:
+        index_of, _ = self.network.node_index()
+        through = self._distances_from(v1, cutoff)[index_of[u2]]
+        if math.isinf(through):
             return math.inf
         return remaining + through + f2 * length_b
 
     def _candidates(self, point):
         found = self.network.candidate_edges(point, self.candidate_radius)
         return found[: self.max_candidates]
+
+    def _layers(self, trajectory):
+        """Per-point candidate layers, emission arrays, geometry arrays.
+
+        The geometry arrays (one dict per layer: node indices ``u`` /
+        ``v``, exit node objects, fractions, edge lengths) are built
+        once here so every Viterbi step works on prefabricated numpy
+        arrays instead of re-deriving them from the candidate tuples.
+        """
+        if not isinstance(trajectory, Trajectory):
+            raise TypeError("trajectory must be a Trajectory")
+        index_of, _ = self.network.node_index()
+        points = [(p.x, p.y) for p in trajectory]
+        layers = []
+        emissions = []
+        arrays = []
+        for index, point in enumerate(points):
+            candidates = self._candidates(point)
+            if not candidates:
+                raise ValueError(
+                    f"no candidate edge within {self.candidate_radius} of "
+                    f"point {index}; the trajectory is off the map"
+                )
+            layers.append(candidates)
+            distances = np.array([c[2] for c in candidates])
+            emissions.append(-0.5 * (distances / self.sigma) ** 2)
+            lengths = np.array([
+                self.network.edge_length(u, v) for u, v, _, _ in candidates
+            ])
+            arrays.append({
+                "u": np.array([index_of[u] for u, _, _, _ in candidates],
+                              dtype=np.intp),
+                "v": np.array([index_of[v] for _, v, _, _ in candidates],
+                              dtype=np.intp),
+                "exit_nodes": [v for _, v, _, _ in candidates],
+                "frac": np.array([f for _, _, _, f in candidates]),
+                "length": lengths,
+            })
+        return points, layers, emissions, arrays
+
+    def _transition_matrix(self, previous, current, straight):
+        """Log transition probabilities as a ``(k_prev, k_cur)`` matrix.
+
+        Entry ``(i, j)`` is ``-|route_ij - straight| / beta`` with
+        ``-inf`` for pairs not connected within the Dijkstra cutoff.
+        ``previous`` / ``current`` are the per-layer geometry dicts from
+        :meth:`_layers`; the whole matrix is one broadcast expression
+        over cached distance rows.
+        """
+        cutoff = self._cutoff_for(straight)
+        remaining = (1.0 - previous["frac"]) * previous["length"]
+        entry_cost = current["frac"] * current["length"]
+        through = np.vstack([
+            self._distances_from(node, cutoff)[current["u"]]
+            for node in previous["exit_nodes"]
+        ])
+        route = remaining[:, None] + through + entry_cost[None, :]
+        same_edge = (
+            (previous["u"][:, None] == current["u"][None, :])
+            & (previous["v"][:, None] == current["v"][None, :])
+            & (current["frac"][None, :] >= previous["frac"][:, None])
+        )
+        if same_edge.any():
+            along = (current["frac"][None, :] - previous["frac"][:, None]) \
+                * previous["length"][:, None]
+            route = np.where(same_edge, along, route)
+        return -np.abs(route - straight) / self.beta
 
     # -- public API -------------------------------------------------------------
 
@@ -108,25 +247,54 @@ class HmmMapMatcher:
             If some point has no candidate edge within radius (increase
             ``candidate_radius``).
         """
-        if not isinstance(trajectory, Trajectory):
-            raise TypeError("trajectory must be a Trajectory")
-        points = [(p.x, p.y) for p in trajectory]
-        layers = []
-        for index, point in enumerate(points):
-            candidates = self._candidates(point)
-            if not candidates:
+        points, layers, emissions, arrays = self._layers(trajectory)
+
+        scores = emissions[0]
+        backpointers = []
+        for step in range(1, len(layers)):
+            straight = math.hypot(
+                points[step][0] - points[step - 1][0],
+                points[step][1] - points[step - 1][1],
+            )
+            transitions = self._transition_matrix(
+                arrays[step - 1], arrays[step], straight)
+            totals = scores[:, None] + transitions
+            pointers = np.argmax(totals, axis=0)
+            scores = totals[pointers, np.arange(totals.shape[1])] \
+                + emissions[step]
+            backpointers.append(pointers)
+            if np.all(np.isneginf(scores)):
                 raise ValueError(
-                    f"no candidate edge within {self.candidate_radius} of "
-                    f"point {index}; the trajectory is off the map"
+                    f"no connected matching through point {step}; "
+                    "the network may be disconnected along the trace"
                 )
-            layers.append(candidates)
 
-        # Viterbi in log space.
-        def emission(candidate):
-            distance = candidate[2]
-            return -0.5 * (distance / self.sigma) ** 2
+        best = int(np.argmax(scores))
+        chosen = [best]
+        for pointers in reversed(backpointers):
+            best = int(pointers[best])
+            chosen.append(best)
+        chosen.reverse()
+        return [layers[i][c] for i, c in enumerate(chosen)]
 
-        scores = [emission(c) for c in layers[0]]
+    def match_many(self, trajectories):
+        """Batch-match trajectories, sharing the distance cache.
+
+        Fleet-scale serving entry point: consecutive trajectories over
+        the same region reuse each other's bounded Dijkstra results, so
+        throughput grows superlinearly versus matching each trace with a
+        cold matcher.  Returns one :meth:`match` result per trajectory.
+        """
+        return [self.match(trajectory) for trajectory in trajectories]
+
+    def _match_reference(self, trajectory):
+        """Pre-vectorization per-pair Viterbi (reference oracle).
+
+        Identical model with unbounded Dijkstra searches and pure-Python
+        loops; kept for equivalence tests and the E26 benchmark.
+        """
+        points, layers, emissions_arrays, _ = self._layers(trajectory)
+        scores = list(emissions_arrays[0])
         backpointers = []
         for step in range(1, len(layers)):
             straight = math.hypot(
@@ -135,7 +303,7 @@ class HmmMapMatcher:
             )
             new_scores = []
             pointers = []
-            for candidate in layers[step]:
+            for j, candidate in enumerate(layers[step]):
                 best_score, best_prev = -math.inf, 0
                 for prev_index, previous in enumerate(layers[step - 1]):
                     route = self._route_distance(previous, candidate)
@@ -145,7 +313,8 @@ class HmmMapMatcher:
                     score = scores[prev_index] + transition
                     if score > best_score:
                         best_score, best_prev = score, prev_index
-                new_scores.append(best_score + emission(candidate))
+                new_scores.append(best_score
+                                  + emissions_arrays[step][j])
                 pointers.append(best_prev)
             scores = new_scores
             backpointers.append(pointers)
@@ -155,7 +324,6 @@ class HmmMapMatcher:
                     "the network may be disconnected along the trace"
                 )
 
-        # Backtrack.
         best = int(np.argmax(scores))
         chosen = [best]
         for pointers in reversed(backpointers):

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..._validation import check_positive
+from ..._validation import check_positive, trapezoid
 from .distributions import Histogram
 
 __all__ = [
@@ -50,7 +50,7 @@ def wasserstein_distance(first, second, *, n_grid=400):
         return 0.0
     grid = np.linspace(low, high, int(n_grid))
     gap = np.abs(first.cdf(grid) - second.cdf(grid))
-    return float(np.trapezoid(gap, grid))
+    return float(trapezoid(gap, grid))
 
 
 class TimeVaryingDistribution:

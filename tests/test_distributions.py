@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro._validation import trapezoid
 from repro.governance.uncertainty import GaussianMixture, Histogram
 
 
@@ -177,7 +178,7 @@ class TestGaussianMixture:
     def test_pdf_integrates_to_one(self):
         mixture = GaussianMixture([0.0, 3.0], [0.5, 1.5], [0.3, 0.7])
         grid = np.linspace(-10, 15, 4000)
-        integral = np.trapezoid(mixture.pdf(grid), grid)
+        integral = trapezoid(mixture.pdf(grid), grid)
         assert integral == pytest.approx(1.0, abs=1e-4)
 
     def test_sampling_moments(self):
