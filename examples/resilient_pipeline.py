@@ -75,7 +75,7 @@ def build():
                             reads=("observed",), writes=("clean",),
                             retries=3, backoff=0.01)
     pipeline.add_analytics("forecast", forecast,
-                           reads=("observed", "clean", "test"),
+                           reads=("clean", "test"),
                            writes=("forecast",),
                            timeout=30.0, on_error="fallback",
                            fallback=forecast_fallback)

@@ -177,8 +177,7 @@ def build_pipeline():
         writes=("router", "mean_path", "mean_dist"))
     pipeline.add_decision(
         "risk_profiles", risk_profiles,
-        reads=("router", "mean_dist", "origin", "destination",
-               "network"),
+        reads=("router", "mean_dist", "origin", "destination"),
         writes=("profile_lines",))
     pipeline.add_decision(
         "skyline", time_energy_skyline,

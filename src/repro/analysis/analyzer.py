@@ -1,0 +1,117 @@
+"""Analyzer orchestration: files -> ModuleInfo -> findings.
+
+Runs every registered rule (see :mod:`repro.analysis.rules`) over one
+or more source files, entirely statically: nothing in the analyzed
+modules is imported or executed.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from . import rules as _rules  # noqa: F401  (registers the rule set)
+from .extract import extract_module
+from .findings import Finding, get_rule, registry_items
+
+__all__ = [
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]
+
+
+_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z]+[A-Z0-9]*"
+                   r"(?:\s*,\s*[A-Z]+[A-Z0-9]*)*))?",
+                   re.IGNORECASE)
+
+
+def _suppressed(finding, source_lines):
+    """Whether the finding's source line carries a matching noqa."""
+    if not 1 <= finding.line <= len(source_lines):
+        return False
+    match = _NOQA.search(source_lines[finding.line - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True  # bare ``# noqa`` silences everything
+    listed = {code.strip().upper() for code in codes.split(",")}
+    return finding.code in listed
+
+
+def _selected(code, select, ignore):
+    """Ruff-style prefix filtering: RC00 selects RC001..RC009."""
+    if select and not any(code.startswith(prefix) for prefix in select):
+        return False
+    return not (ignore and any(code.startswith(prefix)
+                               for prefix in ignore))
+
+
+def analyze_source(source, path="<string>", *, select=None,
+                   ignore=None):
+    """All findings for one piece of source text, sorted by position."""
+    try:
+        module = extract_module(path, source)
+    except SyntaxError as exc:
+        rule = get_rule("RC000")
+        return [Finding(path=str(path), line=exc.lineno or 1,
+                        col=exc.offset or 1, code=rule.code,
+                        severity=rule.severity,
+                        message=f"syntax error: {exc.msg}")]
+    findings = []
+    for rule, check in registry_items():
+        if not _selected(rule.code, select, ignore):
+            continue
+        if rule.scope == "module":
+            findings.extend(check(module))
+        elif rule.scope == "pipeline":
+            for pipeline in module.pipelines:
+                findings.extend(check(pipeline, module))
+        else:  # stage
+            for pipeline in module.pipelines:
+                for stage in pipeline.stages:
+                    findings.extend(check(stage, pipeline, module))
+    source_lines = source.splitlines()
+    return sorted(f for f in findings
+                  if not _suppressed(f, source_lines))
+
+
+def analyze_file(path, *, select=None, ignore=None):
+    """All findings for one file on disk."""
+    text = Path(path).read_text(encoding="utf-8")
+    return analyze_source(text, path=str(path), select=select,
+                          ignore=ignore)
+
+
+def iter_python_files(paths):
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    seen = set()
+    unique = []
+    for path in files:
+        key = str(path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def analyze_paths(paths, *, select=None, ignore=None):
+    """Findings for every ``*.py`` under the given paths.
+
+    Returns ``(findings, n_files)``.
+    """
+    findings = []
+    files = iter_python_files(paths)
+    for path in files:
+        findings.extend(analyze_file(path, select=select,
+                                     ignore=ignore))
+    return sorted(findings), len(files)

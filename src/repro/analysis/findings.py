@@ -1,0 +1,141 @@
+"""Findings and the pluggable rule registry of the contract linter.
+
+A :class:`Finding` is one diagnostic: a stable rule code (``RC001``,
+``RC002``, ...), a severity, a ``file:line:col`` anchor and a
+human-readable message.  Findings are plain data so the CLI can render
+them as text or JSON without re-deriving anything.
+
+Rules are registered declaratively with :func:`register_rule`, which
+makes the rule set *pluggable*: repo-local conventions (see the
+``RC02x`` block in :mod:`repro.analysis.rules`) live in the same
+registry as the core contract checks, and a project can register its
+own rules before calling the analyzer::
+
+    from repro.analysis import register_rule, Finding
+
+    @register_rule("RC900", name="no-print", severity="warning",
+                   scope="module", summary="ban print() in pipelines")
+    def check_no_print(module):
+        for node in ast.walk(module.tree):
+            ...
+            yield module.finding("RC900", node, "print() call")
+
+Scopes
+------
+``module``
+    The check receives the whole :class:`~repro.analysis.extract.ModuleInfo`
+    once per file (repo-local lint rules live here).
+``stage``
+    The check receives one extracted stage declaration plus its
+    pipeline and module (contract-conformance rules).
+``pipeline``
+    The check receives one extracted pipeline (dataflow-over-DAG
+    hazard rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ERROR",
+    "Finding",
+    "Rule",
+    "WARNING",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+]
+
+ERROR = "error"
+WARNING = "warning"
+_SEVERITIES = (ERROR, WARNING)
+_SCOPES = ("module", "stage", "pipeline")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by the analyzer."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    severity: str
+    message: str
+    stage: str | None = field(default=None, compare=False)
+
+    @property
+    def is_error(self):
+        return self.severity == ERROR
+
+    def render(self):
+        """The canonical one-line text form."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.code} [{self.severity}] {self.message}")
+
+    def to_dict(self):
+        """JSON-ready representation."""
+        record = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.stage is not None:
+            record["stage"] = self.stage
+        return record
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Registry entry describing one rule code."""
+
+    code: str
+    name: str
+    severity: str
+    scope: str
+    summary: str
+
+
+_REGISTRY: dict[str, tuple[Rule, object]] = {}
+
+
+def register_rule(code, *, name, severity, scope, summary):
+    """Register a check function under a stable rule code.
+
+    The decorated callable receives scope-dependent arguments (see the
+    module docstring) and yields :class:`Finding` objects.  Returns
+    the callable unchanged so rules remain plain functions.
+    """
+    if severity not in _SEVERITIES:
+        raise ValueError(f"severity must be one of {_SEVERITIES}")
+    if scope not in _SCOPES:
+        raise ValueError(f"scope must be one of {_SCOPES}")
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {code!r}")
+
+    def decorator(check):
+        _REGISTRY[code] = (Rule(code, name, severity, scope, summary),
+                           check)
+        return check
+
+    return decorator
+
+
+def all_rules():
+    """Every registered rule, sorted by code."""
+    return [rule for rule, _ in
+            (entry for _, entry in sorted(_REGISTRY.items()))]
+
+
+def get_rule(code):
+    """The :class:`Rule` registered under ``code`` (KeyError if none)."""
+    return _REGISTRY[code][0]
+
+
+def registry_items():
+    """``(rule, check)`` pairs sorted by code (internal)."""
+    return [entry for _, entry in sorted(_REGISTRY.items())]

@@ -119,10 +119,8 @@ class DomainAdaptedRegressor:
         target_values = np.asarray(target_values, dtype=float).ravel()
         xs, ys = self._lag_features(source_values)
         xt, yt = self._lag_features(target_values)
-        if adapt:
-            ratio = density_ratio_weights(xs, xt)
-        else:
-            ratio = np.ones(len(xs))
+        ratio = (density_ratio_weights(xs, xt) if adapt
+                 else np.ones(len(xs)))
         features = np.vstack([xs, xt])
         targets = np.concatenate([ys, yt])
         weight = np.concatenate([

@@ -20,6 +20,7 @@ and it may sleep or raise to perturb execution — see
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 
@@ -121,7 +122,5 @@ def emit(tracer, kind, stage=None, layer=None, **data):
     """Deliver an event to the tracer, swallowing observer errors."""
     if tracer is None:
         return
-    try:
+    with contextlib.suppress(Exception):
         tracer.on_event(StageEvent(kind, stage, layer, **data))
-    except Exception:
-        pass

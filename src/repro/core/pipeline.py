@@ -147,10 +147,20 @@ class DecisionPipeline:
             for j, stage in enumerate(stages)
         }
 
+    def describe_contracts(self):
+        """Every stage's contract as plain data, in execution order.
+
+        One :meth:`~repro.core.stage.Stage.describe_contract` dict per
+        stage — the introspection surface the static analyzer
+        (:mod:`repro.analysis`) mirrors at lint time.
+        """
+        return [stage.describe_contract()
+                for stage in self._ordered_stages()]
+
     # -- execution -----------------------------------------------------------
 
     def run(self, initial_state=None, *, cache=None, tracer=None,
-            max_workers=None, deadline=None):
+            max_workers=None, deadline=None, copy_on_read=False):
         """Execute the stage DAG.
 
         Parameters
@@ -177,6 +187,12 @@ class DecisionPipeline:
             next state access (committing nothing), unstarted stages
             are recorded as ``cancelled``, and
             :class:`RunDeadlineExceeded` is raised.
+        copy_on_read:
+            Hand stages defensive copies of numpy arrays read through
+            keys their contract declares read-only (declared
+            ``writes`` not containing the key), closing the in-place
+            mutation escape hatch at the cost of one copy per such
+            key per attempt.  Off by default.
 
         Returns
         -------
@@ -211,7 +227,8 @@ class DecisionPipeline:
         try:
             scheduler.execute(stages, deps, state, report,
                               cache=cache, tracer=tracer,
-                              deadline=deadline)
+                              deadline=deadline,
+                              copy_on_read=copy_on_read)
         finally:
             report.finish()
             emit(tracer, "run_end",

@@ -129,14 +129,15 @@ class DagScheduler:
         self.max_workers = max_workers
 
     def execute(self, stages, deps, state, report, *, cache=None,
-                tracer=None, deadline=None):
+                tracer=None, deadline=None, copy_on_read=False):
         """Run all stages; mutates ``state`` and ``report`` in place."""
         lock = threading.RLock()
         control = _RunControl(deadline)
         keys = (_cache.stage_keys(stages, deps, state)
                 if cache is not None else [None] * len(stages))
         run = _StageRunner(stages, state, report, lock, cache, keys,
-                           tracer, control)
+                           tracer, control,
+                           copy_on_read=copy_on_read)
         if len(stages) <= 1 or _dag.is_chain(deps):
             self._execute_chain(stages, run)
             return
@@ -211,7 +212,7 @@ class _StageRunner:
     """Executes one stage: cache lookup, retries, failure policy."""
 
     def __init__(self, stages, state, report, lock, cache, keys,
-                 tracer, control):
+                 tracer, control, *, copy_on_read=False):
         self._stages = stages
         self.state = state
         self.report = report
@@ -220,6 +221,7 @@ class _StageRunner:
         self._keys = keys
         self._tracer = tracer
         self._control = control
+        self._copy_on_read = copy_on_read
         self._inject = getattr(tracer, "inject", None)
 
     def __call__(self, index):
@@ -240,7 +242,8 @@ class _StageRunner:
         attempts = 0
         while True:
             view = _ContractView(self.state, stage, self._lock,
-                                 self._control)
+                                 self._control,
+                                 copy_on_read=self._copy_on_read)
             try:
                 outcome = self._attempt(stage, view, attempts)
             except ContractViolation:
@@ -375,7 +378,8 @@ class _StageRunner:
     def _run_fallback(self, stage, exc, elapsed, attempts):
         emit(self._tracer, "stage_fallback", stage.name, stage.layer)
         view = _ContractView(self.state, stage, self._lock,
-                             self._control)
+                             self._control,
+                             copy_on_read=self._copy_on_read)
         try:
             outcome = stage.fallback(view)
         except ContractViolation:

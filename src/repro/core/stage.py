@@ -23,8 +23,12 @@ when the attempt succeeds.  A failed, timed-out, skipped or cancelled
 attempt leaves shared state exactly as it found it, so retries and
 ``on_error="skip"`` can never poison a run with torn writes.  The one
 escape hatch is in-place mutation of a *read* value (e.g. writing
-into a numpy array pulled out of state) — the transaction layer hands
-out real references and cannot intercept that.
+into a numpy array pulled out of state) — by default the transaction
+layer hands out real references and cannot intercept that.  Two
+defenses close it: ``run(copy_on_read=True)`` hands out defensive
+copies of numpy arrays read through read-only keys, and the static
+analyzer (``python -m repro.lint``, rule RC004) flags the mutation at
+lint time before a run ever starts.
 """
 
 from __future__ import annotations
@@ -231,6 +235,28 @@ class Stage:
         """Whether both contract sides are explicit (cacheable)."""
         return self.reads is not ANY and self.writes is not ANY
 
+    def describe_contract(self):
+        """The contract as plain, JSON-ready data.
+
+        The introspection hook tooling builds on (the static analyzer
+        in :mod:`repro.analysis` checks the same shape at lint time):
+        ``reads``/``writes`` are sorted key lists, or the string
+        ``"ANY"`` for an undeclared (wildcard) side.
+        """
+        def side(keys):
+            return "ANY" if keys is ANY else sorted(keys)
+
+        return {
+            "layer": self.layer,
+            "name": self.name,
+            "reads": side(self.reads),
+            "writes": side(self.writes),
+            "on_error": self.on_error,
+            "has_fallback": self.fallback is not None,
+            "retries": self.retries,
+            "timeout": self.timeout,
+        }
+
     def replace_name_suffix(self):  # pragma: no cover - debug aid
         return f"{self.layer}/{self.name}"
 
@@ -261,12 +287,24 @@ class _ContractView(MutableMapping):
     cancelled the access raises :class:`StageCancelled`, and when the
     attempt's ``timeout`` budget is spent it raises
     :class:`StageTimeout`.
+
+    ``copy_on_read=True`` closes the worst of the in-place-mutation
+    escape hatch: numpy arrays fetched through a key the contract
+    declares *read-only* (the stage's ``writes`` side is declared and
+    does not include the key) are handed out as defensive copies, so
+    sorting or slicing into a read value can no longer tear shared
+    state behind the transaction layer's back.  The copy is made once
+    per key per attempt, so repeated reads stay consistent within the
+    stage.  Mutating the copy is still a contract smell -- the static
+    analyzer (rule RC004) flags it -- but it is no longer a data race.
     """
 
     __slots__ = ("_state", "_stage", "_lock", "_control", "_writes",
-                 "_deleted", "_started", "_timeout_at", "written")
+                 "_deleted", "_started", "_timeout_at", "written",
+                 "_copy_on_read", "_copies")
 
-    def __init__(self, state, stage, lock, control=None):
+    def __init__(self, state, stage, lock, control=None, *,
+                 copy_on_read=False):
         self._state = state
         self._stage = stage
         self._lock = lock
@@ -277,6 +315,8 @@ class _ContractView(MutableMapping):
         self._timeout_at = (None if stage.timeout is None
                             else self._started + stage.timeout)
         self.written = set()
+        self._copy_on_read = bool(copy_on_read)
+        self._copies = {}
 
     # -- transactional machinery --------------------------------------------
 
@@ -342,6 +382,11 @@ class _ContractView(MutableMapping):
 
     # -- MutableMapping interface -------------------------------------------
 
+    def _read_only(self, key):
+        """Whether the contract forbids the stage to write ``key``."""
+        writes = self._stage.writes
+        return writes is not ANY and key not in writes
+
     def __getitem__(self, key):
         self._checkpoint()
         self._check_read(key)
@@ -350,7 +395,17 @@ class _ContractView(MutableMapping):
         if key in self._deleted:
             raise KeyError(key)
         with self._lock:
-            return self._state[key]
+            value = self._state[key]
+        if self._copy_on_read and self._read_only(key):
+            import numpy as np
+
+            if isinstance(value, np.ndarray):
+                cached = self._copies.get(key)
+                if cached is None:
+                    cached = value.copy()
+                    self._copies[key] = cached
+                return cached
+        return value
 
     def __setitem__(self, key, value):
         self._checkpoint()
@@ -364,9 +419,9 @@ class _ContractView(MutableMapping):
         self._check_write(key)
         if key in self._writes:
             del self._writes[key]
-        elif key in self._deleted:
-            raise KeyError(key)
         else:
+            if key in self._deleted:
+                raise KeyError(key)
             with self._lock:
                 if key not in self._state:
                     raise KeyError(key)

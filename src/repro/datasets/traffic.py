@@ -45,8 +45,7 @@ def diurnal_profile(minute_of_day, *, rush_depth=0.45):
     minutes = np.asarray(minute_of_day, dtype=float) % _DAY_MINUTES
     morning = np.exp(-0.5 * ((minutes - 8 * 60) / 75.0) ** 2)
     evening = np.exp(-0.5 * ((minutes - 17.5 * 60) / 90.0) ** 2)
-    factor = 1.0 - rush_depth * np.maximum(morning, evening)
-    return factor
+    return 1.0 - rush_depth * np.maximum(morning, evening)
 
 
 def traffic_speed_dataset(

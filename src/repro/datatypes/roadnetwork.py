@@ -101,10 +101,9 @@ class _GeometryIndex:
 
     def _cell_of(self, points):
         """Integer cell coordinates (unclipped) of ``(..., 2)`` points."""
-        coords = np.floor(
+        return np.floor(
             (np.asarray(points, dtype=float) - self.origin) / self.cell
         ).astype(int)
-        return coords
 
     def project_many(self, point, indices):
         """Vectorized point-to-segment projection over edge ``indices``.

@@ -151,10 +151,8 @@ def simulate_scaling(demand, scaler, *, warmup=48, lead_time=1,
         demand), ``scaling_actions`` (relative capacity changes > 5 %),
         and ``total_cost`` under the linear cost model.
     """
-    if isinstance(demand, TimeSeries):
-        values = demand.values[:, 0]
-    else:
-        values = np.asarray(demand, dtype=float).ravel()
+    values = (demand.values[:, 0] if isinstance(demand, TimeSeries)
+              else np.asarray(demand, dtype=float).ravel())
     lead_time = int(check_positive(lead_time, "lead_time"))
     if len(values) <= warmup + lead_time + 1:
         raise ValueError("demand trace shorter than the warmup")
@@ -168,9 +166,9 @@ def simulate_scaling(demand, scaler, *, warmup=48, lead_time=1,
         capacities.append(capacity)
         if values[step] > capacity:
             violations += 1
-        if previous is not None and previous > 0:
-            if abs(capacity - previous) / previous > 0.05:
-                actions += 1
+        if (previous is not None and previous > 0
+                and abs(capacity - previous) / previous > 0.05):
+            actions += 1
         previous = capacity
     capacities = np.asarray(capacities)
     served = values[warmup:]

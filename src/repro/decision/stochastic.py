@@ -229,10 +229,8 @@ def dominance_prune(candidates, *, order=1, tol=1e-9):
             raise TypeError("candidates must be Histograms")
     if not candidates:
         return []
-    if order == 1:
-        dominated = _dominated_mask_fsd(candidates, tol)
-    else:
-        dominated = _dominated_mask_ssd(candidates, tol)
+    dominated = (_dominated_mask_fsd(candidates, tol) if order == 1
+                 else _dominated_mask_ssd(candidates, tol))
     survivors = [int(i) for i in np.flatnonzero(~dominated)]
     if not survivors:  # all mutually dominated within tolerance
         survivors = list(range(len(candidates)))

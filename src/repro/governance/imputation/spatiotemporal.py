@@ -157,8 +157,7 @@ class ODMatrixCompleter:
         if self.non_negative:
             estimate = np.clip(estimate, 0.0, None)
 
-        completed = np.where(mask, frames, estimate)
-        return completed
+        return np.where(mask, frames, estimate)
 
 
 def complete_field(sequence, observed, *, bandwidth=2.0,

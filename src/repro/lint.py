@@ -1,0 +1,123 @@
+"""Contract linter CLI: ``python -m repro.lint [paths...]``.
+
+Statically checks every module that constructs a
+:class:`~repro.core.pipeline.DecisionPipeline` against its declared
+stage contracts, plus pipeline-level dataflow hazards and repo-local
+conventions -- without importing or executing the analyzed code.
+
+Examples::
+
+    python -m repro.lint src examples            # human-readable text
+    python -m repro.lint src --format=json       # machine-readable
+    python -m repro.lint src --select RC00       # contract rules only
+    python -m repro.lint src --ignore RC021      # drop one rule
+    python -m repro.lint --list-rules            # the rule catalogue
+
+Exit status is 1 when any *error*-severity finding is reported (so CI
+can gate on it), 0 otherwise; warnings never fail the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .analysis import all_rules, analyze_paths
+
+__all__ = ["main"]
+
+
+def _render_text(findings, n_files):
+    lines = [finding.render() for finding in findings]
+    errors = sum(1 for f in findings if f.is_error)
+    warnings = len(findings) - errors
+    lines.append(f"{errors} error(s), {warnings} warning(s) in "
+                 f"{n_files} file(s)")
+    return "\n".join(lines)
+
+
+def _render_json(findings, n_files):
+    by_rule = {}
+    for finding in findings:
+        by_rule[finding.code] = by_rule.get(finding.code, 0) + 1
+    errors = sum(1 for f in findings if f.is_error)
+    report = {
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": {
+            "files": n_files,
+            "errors": errors,
+            "warnings": len(findings) - errors,
+            "rules": dict(sorted(by_rule.items())),
+        },
+    }
+    return json.dumps(report, indent=2, sort_keys=False)
+
+
+def _render_rules():
+    lines = ["rule   severity  name                      summary"]
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.severity:8s}  "
+                     f"{rule.name:24s}  {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static contract analyzer for DecisionPipeline "
+                    "modules: proves reads/writes conformance, DAG "
+                    "hazards and repo conventions at lint time.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "examples"],
+        help="files or directories to analyze (default: src examples)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="CODE",
+        help="only run rule codes with this prefix (repeatable)")
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="CODE",
+        help="skip rule codes with this prefix (repeatable)")
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also write the report to FILE")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    arguments = parser.parse_args(argv)
+
+    if arguments.list_rules:
+        print(_render_rules())
+        return 0
+
+    missing = [p for p in arguments.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    findings, n_files = analyze_paths(
+        arguments.paths, select=arguments.select,
+        ignore=arguments.ignore)
+    renderer = (_render_json if arguments.format == "json"
+                else _render_text)
+    report = renderer(findings, n_files)
+    print(report)
+    if arguments.output:
+        Path(arguments.output).write_text(report + "\n",
+                                          encoding="utf-8")
+    return 1 if any(f.is_error for f in findings) else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; exit quietly
+        # (devnull keeps the interpreter's final flush from raising)
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -163,6 +163,106 @@ class TestTransactionalCommit:
             pipeline.run()
 
 
+# -- copy-on-read: defensive copies of read-only arrays ----------------------
+
+
+def _build_mutating_reader_pipeline():
+    """A reader stage that mutates a read-only array through an alias.
+
+    This is exactly the in-place escape hatch the transaction layer
+    cannot roll back (and the static analyzer flags as RC004): the
+    alias points at the shared object, so ``arr *= 0`` bypasses the
+    contract view's write check.
+    """
+    def seed(s):
+        s["arr"] = np.arange(4.0)
+        return "seeded"
+
+    def reader(s):
+        arr = s["arr"]
+        arr *= 0.0  # noqa: RC004 -- deliberate torn write
+        s["total"] = float(arr.sum())
+        return "read"
+
+    pipeline = DecisionPipeline("copy-on-read")
+    pipeline.add_data("seed", seed, reads=(), writes=("arr",))
+    pipeline.add_analytics("reader", reader, reads=("arr",),
+                           writes=("total",))
+    return pipeline
+
+
+class TestCopyOnRead:
+    def test_torn_write_without_flag(self):
+        # Baseline: the escape hatch is real -- the shared array is
+        # zeroed even though the reader never declared the write.
+        state, _ = _build_mutating_reader_pipeline().run()
+        assert state["arr"].tolist() == [0.0, 0.0, 0.0, 0.0]
+
+    def test_copy_on_read_prevents_the_torn_write(self):
+        state, _ = _build_mutating_reader_pipeline().run(
+            copy_on_read=True)
+        assert state["arr"].tolist() == [0.0, 1.0, 2.0, 3.0]
+        assert state["total"] == 0.0  # the stage saw its own copy
+
+    def test_repeated_reads_see_the_same_copy(self):
+        def seed(s):
+            s["arr"] = np.arange(3.0)
+            return "seeded"
+
+        def reader(s):
+            first = s["arr"]
+            first += 1.0
+            second = s["arr"]
+            s["same"] = first is second
+            s["sum"] = float(second.sum())
+            return "read"
+
+        pipeline = DecisionPipeline()
+        pipeline.add_data("seed", seed, reads=(), writes=("arr",))
+        pipeline.add_analytics("reader", reader, reads=("arr",),
+                               writes=("same", "sum"))
+        state, _ = pipeline.run(copy_on_read=True)
+        assert state["same"] is True
+        assert state["sum"] == 6.0       # the stage's view is coherent
+        assert state["arr"].tolist() == [0.0, 1.0, 2.0]
+
+    def test_declared_writes_are_not_copied(self):
+        def seed(s):
+            s["arr"] = np.arange(3.0)
+            return "seeded"
+
+        def owner(s):
+            arr = s["arr"]
+            arr *= 2.0
+            s["arr"] = arr
+            return "owned"
+
+        pipeline = DecisionPipeline()
+        pipeline.add_data("seed", seed, reads=(), writes=("arr",))
+        pipeline.add_governance("owner", owner, reads=("arr",),
+                                writes=("arr",))
+        state, _ = pipeline.run(copy_on_read=True)
+        assert state["arr"].tolist() == [0.0, 2.0, 4.0]
+
+    def test_non_array_values_are_untouched(self):
+        marker = object()
+
+        def seed(s):
+            s["obj"] = marker
+            return "seeded"
+
+        def reader(s):
+            s["same"] = s["obj"] is marker
+            return "read"
+
+        pipeline = DecisionPipeline()
+        pipeline.add_data("seed", seed, reads=(), writes=("obj",))
+        pipeline.add_decision("reader", reader, reads=("obj",),
+                              writes=("same",))
+        state, _ = pipeline.run(copy_on_read=True)
+        assert state["same"] is True
+
+
 # -- cache: tombstones and deep-copied deltas --------------------------------
 
 
