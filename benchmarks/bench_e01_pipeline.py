@@ -25,6 +25,7 @@ from conftest import print_table
 ARTIFACT_PATH = pathlib.Path(__file__).resolve().parent.parent / \
     "BENCH_e01.json"
 from repro import DecisionPipeline, StageCache
+from repro.observability.metrics import use_registry
 from repro.analytics.forecasting import GraphFilterForecaster
 from repro.analytics.metrics import mae
 from repro.datasets import traffic_speed_dataset
@@ -112,17 +113,23 @@ def run_experiment():
 
 
 def run_cache_ablation():
-    """E1's without_stage rerun against a shared stage cache."""
+    """E1's without_stage rerun against a shared stage cache.
+
+    Runs inside a scoped :class:`MetricsRegistry` so the returned
+    snapshot carries the engine's own accounting of the same story —
+    cache hit/miss counters and per-stage duration histograms.
+    """
     train, test, observed = build_workload()
     state = {"observed": observed, "truth": train, "test": test}
     cache = StageCache()
     pipeline = build_pipeline(use_governance=True)
 
-    _, cold = pipeline.run(state, cache=cache)
-    _, warm = pipeline.run(state, cache=cache)
-    _, ablated = pipeline.without_stage("dispatch").run(state,
-                                                       cache=cache)
-    return [
+    with use_registry() as registry:
+        _, cold = pipeline.run(state, cache=cache)
+        _, warm = pipeline.run(state, cache=cache)
+        _, ablated = pipeline.without_stage("dispatch").run(
+            state, cache=cache)
+    rows = [
         {"run": "cold", "cache_hits": cold.cache_hits,
          "stages": len(cold.records),
          "wall_s": cold.wall_seconds},
@@ -133,6 +140,7 @@ def run_cache_ablation():
          "stages": len(ablated.records),
          "wall_s": ablated.wall_seconds},
     ]
+    return rows, registry.snapshot()
 
 
 @pytest.mark.benchmark(group="e01")
@@ -147,7 +155,7 @@ def test_e01_pipeline(benchmark):
     assert governed["stages"] == 3
 
 
-def emit_trajectory(rows):
+def emit_trajectory(rows, snapshot):
     """Write the run trajectory as a CI-uploadable JSON artifact."""
     cold, warm, ablated = rows
     payload = {
@@ -158,16 +166,31 @@ def emit_trajectory(rows):
         "cache_hits_total": sum(r["cache_hits"] for r in rows),
         "warm_speedup": (cold["wall_s"] / warm["wall_s"]
                          if warm["wall_s"] > 0 else None),
+        "metrics": {
+            name: snapshot[name]
+            for name in ("engine.stage_cache_lookups_total",
+                         "engine.stage_cache_replays_total",
+                         "engine.stage_duration_seconds",
+                         "engine.runs_total")
+            if name in snapshot
+        },
     }
     ARTIFACT_PATH.write_text(json.dumps(payload, indent=2,
                                         sort_keys=True) + "\n")
     return payload
 
 
+def _series_value(snapshot, name, **labels):
+    for series in snapshot[name]["series"]:
+        if series["labels"] == labels:
+            return series.get("value", series.get("count"))
+    return 0
+
+
 @pytest.mark.benchmark(group="e01")
 def test_e01_cache_ablation(benchmark):
-    rows = benchmark.pedantic(run_cache_ablation, rounds=1,
-                              iterations=1)
+    rows, snapshot = benchmark.pedantic(run_cache_ablation, rounds=1,
+                                        iterations=1)
     print_table("E1: stage-cache reuse across reruns", rows)
     cold, warm, ablated = rows
     assert cold["cache_hits"] == 0
@@ -178,6 +201,18 @@ def test_e01_cache_ablation(benchmark):
     assert ablated["stages"] == 2
     assert ablated["cache_hits"] == 2
     assert warm["wall_s"] < cold["wall_s"]
-    payload = emit_trajectory(rows)
+    # The engine's own metrics tell the same story: 3 cold misses,
+    # 3 + 2 replayed hits, and a duration sample for every stage
+    # that actually executed.
+    assert _series_value(snapshot, "engine.stage_cache_lookups_total",
+                         outcome="hit") == 5
+    assert _series_value(snapshot, "engine.stage_cache_lookups_total",
+                         outcome="miss") == 3
+    for stage in ("impute", "forecast", "dispatch"):
+        assert _series_value(snapshot, "engine.stage_duration_seconds",
+                             stage=stage) >= 1
+    assert _series_value(snapshot, "engine.runs_total",
+                         status="ok") == 3
+    payload = emit_trajectory(rows, snapshot)
     assert ARTIFACT_PATH.exists()
     assert payload["warm_speedup"] > 1.0

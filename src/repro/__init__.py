@@ -24,6 +24,7 @@ from . import (
     datatypes,
     decision,
     governance,
+    observability,
 )
 from .core import (
     CollectingTracer,
@@ -43,6 +44,7 @@ from .datatypes import (
     TimeSeries,
     Trajectory,
 )
+from .observability import MetricsRegistry, SpanTracer
 
 __version__ = "1.0.0"
 
@@ -53,7 +55,9 @@ __all__ = [
     "DecisionPipeline",
     "FaultInjector",
     "GpsPoint",
+    "MetricsRegistry",
     "RunDeadlineExceeded",
+    "SpanTracer",
     "StageCache",
     "StageFailure",
     "StageTimeout",
@@ -68,5 +72,6 @@ __all__ = [
     "datatypes",
     "decision",
     "governance",
+    "observability",
     "__version__",
 ]

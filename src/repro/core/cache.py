@@ -246,6 +246,12 @@ class StageCache:
     Pass one instance to several :meth:`DecisionPipeline.run` calls
     (including runs of ``without_stage`` copies) to reuse results
     whose whole upstream cone is unchanged.
+
+    Every lookup publishes an ``engine.stage_cache_lookups_total``
+    counter sample (labeled ``outcome=hit|miss``) and the entry count
+    is mirrored to the ``engine.stage_cache_entries`` gauge in the
+    process-global :class:`~repro.observability.MetricsRegistry`, so
+    hit rates are visible without holding a reference to the cache.
     """
 
     def __init__(self):
@@ -254,6 +260,12 @@ class StageCache:
         self.hits = 0
         self.misses = 0
 
+    @staticmethod
+    def _metrics():
+        from ..observability.metrics import get_registry
+
+        return get_registry()
+
     def get(self, key):
         with self._lock:
             entry = self._entries.get(key)
@@ -261,7 +273,11 @@ class StageCache:
                 self.misses += 1
             else:
                 self.hits += 1
-            return entry
+        self._metrics().counter(
+            "engine.stage_cache_lookups_total",
+            "StageCache lookups by outcome").inc(
+                outcome="miss" if entry is None else "hit")
+        return entry
 
     def store(self, key, summary, details, delta, deleted=()):
         """Store an outcome; returns False (and stores nothing) when
@@ -275,6 +291,10 @@ class StageCache:
         with self._lock:
             self._entries[key] = CacheEntry(summary, details, delta,
                                             deleted)
+            size = len(self._entries)
+        self._metrics().gauge(
+            "engine.stage_cache_entries",
+            "Entries currently stored in the StageCache").set(size)
         return True
 
     def clear(self):

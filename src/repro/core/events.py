@@ -1,20 +1,32 @@
 """Observability: structured run events and the tracer protocol.
 
 The engine narrates a run as a stream of :class:`StageEvent` objects
-— ``run_start``, ``stage_start``, ``stage_end``, ``stage_error``,
-``stage_retry``, ``stage_skip``, ``stage_fallback``,
+— ``run_start``, ``stage_start``, ``stage_attempt``, ``stage_end``,
+``stage_error``, ``stage_retry``, ``stage_skip``, ``stage_fallback``,
 ``stage_timeout``, ``stage_cancelled``, ``fault_injected``,
 ``cache_hit``, ``run_end`` — delivered to an opt-in *tracer*: any
 object with an ``on_event(event)`` method (duck-typed; subclassing
 is optional).  Tracer exceptions are swallowed so a broken observer
 cannot take the pipeline down with it.
 
+Threading contract: the scheduler runs contract-independent stages
+on a thread pool, so ``on_event`` is called **concurrently from
+multiple worker threads** and must be thread-safe.  Events for any
+*single* stage arrive in program order (one thread executes a stage
+at a time), but events from different stages interleave arbitrarily.
+Every event carries both a wall-clock ``timestamp`` (``time.time``)
+and a ``monotonic`` stamp (``time.perf_counter``) taken at emission,
+so observers can order and measure without re-reading clocks.
+
 Two tracers ship with the library: :class:`CollectingTracer` buffers
-events for inspection (tests, dashboards) and :class:`PrintTracer`
-streams one line per event (live debugging).  A tracer that
-additionally exposes an ``inject(stage_name, attempt)`` method is a
-*tracer-hook*: the scheduler calls it at the top of every attempt,
-and it may sleep or raise to perturb execution — see
+events for inspection (tests, dashboards; explicitly thread-safe —
+its buffer and accessors are lock-protected) and :class:`PrintTracer`
+streams one line per event (live debugging).
+:class:`repro.observability.SpanTracer` folds the stream into a span
+tree.  A tracer that additionally exposes an
+``inject(stage_name, attempt)`` method is a *tracer-hook*: the
+scheduler calls it at the top of every attempt, and it may sleep or
+raise to perturb execution — see
 :class:`repro.core.faults.FaultInjector`.
 """
 
@@ -36,6 +48,7 @@ __all__ = [
 EVENT_KINDS = (
     "run_start",
     "stage_start",
+    "stage_attempt",
     "stage_end",
     "stage_error",
     "stage_retry",
@@ -50,9 +63,16 @@ EVENT_KINDS = (
 
 
 class StageEvent:
-    """One engine event: what happened, to which stage, when."""
+    """One engine event: what happened, to which stage, when.
 
-    __slots__ = ("kind", "stage", "layer", "timestamp", "data")
+    ``timestamp`` is wall-clock (``time.time``) for human display;
+    ``monotonic`` is ``time.perf_counter`` at emission, guaranteed
+    non-decreasing across the process — span durations and ordering
+    assertions are built on it.
+    """
+
+    __slots__ = ("kind", "stage", "layer", "timestamp", "monotonic",
+                 "data")
 
     def __init__(self, kind, stage=None, layer=None, **data):
         if kind not in EVENT_KINDS:
@@ -63,6 +83,7 @@ class StageEvent:
         self.stage = stage
         self.layer = layer
         self.timestamp = time.time()
+        self.monotonic = time.perf_counter()
         self.data = data
 
     def __repr__(self):
@@ -83,15 +104,34 @@ class Tracer:
 
 
 class CollectingTracer(Tracer):
-    """Buffers every event; thread-safe."""
+    """Buffers every event; explicitly thread-safe.
+
+    ``on_event`` may be called concurrently from scheduler worker
+    threads; the buffer append and every accessor hold the tracer's
+    lock, so no event is ever lost or observed torn.  Forward targets
+    attached with :meth:`forward_to` receive each event *after* it is
+    buffered (outside the lock, errors swallowed per target) — the
+    composition hook that lets a :class:`FaultInjector` and a
+    :class:`~repro.observability.SpanTracer` observe one run
+    together, including events the injector itself generates.
+    """
 
     def __init__(self):
         self.events = []
         self._lock = threading.Lock()
+        self._forward = []
+
+    def forward_to(self, *tracers):
+        """Also deliver every event to ``tracers``; returns ``self``."""
+        self._forward.extend(tracers)
+        return self
 
     def on_event(self, event):
         with self._lock:
             self.events.append(event)
+        for tracer in self._forward:
+            with contextlib.suppress(Exception):
+                tracer.on_event(event)
 
     def kinds(self):
         """The event kinds seen, in arrival order."""

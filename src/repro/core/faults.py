@@ -109,6 +109,12 @@ class FaultInjector(CollectingTracer):
                 return
             kind, payload = queue.pop(0)
             self.injected += 1
+        from ..observability.metrics import get_registry
+
+        get_registry().counter(
+            "engine.faults_injected_total",
+            "Faults injected into stage attempts by kind").inc(
+                stage=stage_name, kind=kind)
         self.on_event(StageEvent("fault_injected", stage_name,
                                  fault=kind, attempt=attempt))
         if kind == "fail":

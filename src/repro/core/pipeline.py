@@ -160,7 +160,8 @@ class DecisionPipeline:
     # -- execution -----------------------------------------------------------
 
     def run(self, initial_state=None, *, cache=None, tracer=None,
-            max_workers=None, deadline=None, copy_on_read=False):
+            max_workers=None, deadline=None, copy_on_read=False,
+            metrics=None, profile=False):
         """Execute the stage DAG.
 
         Parameters
@@ -193,6 +194,19 @@ class DecisionPipeline:
             ``writes`` not containing the key), closing the in-place
             mutation escape hatch at the cost of one copy per such
             key per attempt.  Off by default.
+        metrics:
+            :class:`~repro.observability.MetricsRegistry` the run
+            publishes engine metrics into (attempts, retries,
+            outcomes, durations, queue waits, cache replays, run
+            totals).  Default: the process-global registry
+            (:func:`repro.observability.get_registry`).
+        profile:
+            When true, attach a
+            :class:`~repro.observability.RunProfiler`: per-stage
+            wall/CPU seconds, scheduler queue wait and ``tracemalloc``
+            allocation deltas land on ``report.profiles`` (see
+            ``docs/OBSERVABILITY.md``).  Off by default — it starts
+            ``tracemalloc``, which costs real overhead.
 
         Returns
         -------
@@ -209,6 +223,10 @@ class DecisionPipeline:
             When ``deadline`` expires first; also carries the
             partial ``report`` and ``state``.
         """
+        from ..observability.metrics import get_registry
+        from ..observability.profiling import RunProfiler
+        from .stage import RunDeadlineExceeded, StageFailure
+
         if deadline is not None and float(deadline) <= 0:
             raise ValueError("deadline must be positive or None")
         stages = self._ordered_stages()
@@ -222,15 +240,39 @@ class DecisionPipeline:
             for j, stage in enumerate(stages)
         ])
         report.set_deadline(deadline)
+        metrics = metrics if metrics is not None else get_registry()
+        profiler = RunProfiler().start() if profile else None
         emit(tracer, "run_start", stages=len(stages))
         scheduler = DagScheduler(max_workers=max_workers)
+        run_status = "ok"
         try:
             scheduler.execute(stages, deps, state, report,
                               cache=cache, tracer=tracer,
                               deadline=deadline,
-                              copy_on_read=copy_on_read)
+                              copy_on_read=copy_on_read,
+                              metrics=metrics, profiler=profiler)
+        except RunDeadlineExceeded:
+            run_status = "deadline_exceeded"
+            raise
+        except StageFailure:
+            run_status = "failed"
+            raise
+        except BaseException:
+            run_status = "error"
+            raise
         finally:
+            if profiler is not None:
+                profiler.stop()
+                report.set_profiles(profiler.profiles())
             report.finish()
+            metrics.counter(
+                "engine.runs_total",
+                "Pipeline runs by terminal status").inc(
+                    status=run_status)
+            metrics.histogram(
+                "engine.run_duration_seconds",
+                "Wall-clock duration of whole pipeline runs").observe(
+                    report.wall_seconds)
             emit(tracer, "run_end",
                  wall_seconds=report.wall_seconds,
                  cache_hits=report.cache_hits)

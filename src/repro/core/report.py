@@ -67,6 +67,7 @@ class RunReport:
         self.records = []
         self.dag = []
         self.deadline_seconds = None
+        self.profiles = {}
         self._started = time.perf_counter()
         self._finished = None
 
@@ -91,6 +92,25 @@ class RunReport:
         """Record the run-level deadline budget (``None`` = none)."""
         self.deadline_seconds = (None if seconds is None
                                  else float(seconds))
+
+    def set_profiles(self, profiles):
+        """Attach per-stage profiling data (``run(profile=True)``).
+
+        ``profiles`` maps stage name to the plain dict produced by
+        :meth:`~repro.observability.RunProfiler.profiles`: wall/CPU
+        seconds, queue wait and tracemalloc deltas.
+        """
+        self.profiles = {str(name): dict(data)
+                         for name, data in dict(profiles).items()}
+
+    def profile(self, name):
+        """The named stage's profile dict (requires ``profile=True``)."""
+        try:
+            return self.profiles[name]
+        except KeyError:
+            raise KeyError(
+                f"no profile for stage {name!r}; was the run made "
+                "with profile=True?") from None
 
     @property
     def deadline_remaining_seconds(self):
@@ -207,6 +227,16 @@ class RunReport:
                 f"timed out: {self.timed_out_count} | "
                 f"cancelled: {self.cancelled_count}"
             )
+        if self.profiles:
+            lines.append("profile (wall / cpu / queue-wait / net alloc):")
+            for name, p in self.profiles.items():
+                lines.append(
+                    f"  {name}: {p['wall_seconds']:.3f}s / "
+                    f"{p['cpu_seconds']:.3f}s / "
+                    f"{p['queue_wait_seconds']:.3f}s / "
+                    f"{p['net_alloc_bytes'] / 1024:.1f} KiB "
+                    f"(peak {p['peak_alloc_bytes'] / 1024:.1f} KiB)"
+                )
         return "\n".join(lines)
 
     def __repr__(self):

@@ -129,7 +129,8 @@ class DagScheduler:
         self.max_workers = max_workers
 
     def execute(self, stages, deps, state, report, *, cache=None,
-                tracer=None, deadline=None, copy_on_read=False):
+                tracer=None, deadline=None, copy_on_read=False,
+                metrics=None, profiler=None):
         """Run all stages; mutates ``state`` and ``report`` in place."""
         lock = threading.RLock()
         control = _RunControl(deadline)
@@ -137,14 +138,17 @@ class DagScheduler:
                 if cache is not None else [None] * len(stages))
         run = _StageRunner(stages, state, report, lock, cache, keys,
                            tracer, control,
-                           copy_on_read=copy_on_read)
+                           copy_on_read=copy_on_read,
+                           metrics=metrics, profiler=profiler)
         if len(stages) <= 1 or _dag.is_chain(deps):
+            run.serial = True
             self._execute_chain(stages, run)
             return
         self._execute_concurrent(stages, deps, run, control)
 
     def _execute_chain(self, stages, run):
         for index in range(len(stages)):
+            run.mark_ready(index)
             try:
                 run(index)
             except BaseException:
@@ -167,6 +171,7 @@ class DagScheduler:
             futures = {}
             for i in range(n):
                 if remaining[i] == 0:
+                    run.mark_ready(i)
                     futures[pool.submit(run, i)] = i
                     started.add(i)
             while futures:
@@ -186,6 +191,7 @@ class DagScheduler:
                         remaining[j] -= 1
                         if (remaining[j] == 0 and not failures
                                 and not control.cancelled):
+                            run.mark_ready(j)
                             futures[pool.submit(run, j)] = j
                             started.add(j)
         unrun = [j for j in range(n) if j not in started]
@@ -209,10 +215,18 @@ class DagScheduler:
 
 
 class _StageRunner:
-    """Executes one stage: cache lookup, retries, failure policy."""
+    """Executes one stage: cache lookup, retries, failure policy.
+
+    Also the engine's telemetry source: every attempt, retry, outcome
+    and duration is published into the run's
+    :class:`~repro.observability.MetricsRegistry` (when given), and a
+    :class:`~repro.observability.RunProfiler` (when given) brackets
+    each stage with wall/CPU/memory baselines in the worker thread.
+    """
 
     def __init__(self, stages, state, report, lock, cache, keys,
-                 tracer, control, *, copy_on_read=False):
+                 tracer, control, *, copy_on_read=False, metrics=None,
+                 profiler=None):
         self._stages = stages
         self.state = state
         self.report = report
@@ -223,9 +237,58 @@ class _StageRunner:
         self._control = control
         self._copy_on_read = copy_on_read
         self._inject = getattr(tracer, "inject", None)
+        self._profiler = profiler
+        self._ready = {}
+        self.serial = False
+        if metrics is not None:
+            self._m_attempts = metrics.counter(
+                "engine.stage_attempts_total",
+                "Stage execution attempts, including retries")
+            self._m_retries = metrics.counter(
+                "engine.stage_retries_total",
+                "Retry attempts after a failed stage attempt")
+            self._m_outcomes = metrics.counter(
+                "engine.stage_outcomes_total",
+                "Terminal stage outcomes by report status")
+            self._m_replays = metrics.counter(
+                "engine.stage_cache_replays_total",
+                "Stages served from the StageCache instead of running")
+            self._m_duration = metrics.histogram(
+                "engine.stage_duration_seconds",
+                "Stage wall-clock duration across attempts")
+            self._m_queue_wait = metrics.histogram(
+                "engine.stage_queue_wait_seconds",
+                "Delay between a stage becoming ready and starting")
+        else:
+            self._m_attempts = self._m_retries = None
+            self._m_outcomes = self._m_replays = None
+            self._m_duration = self._m_queue_wait = None
+
+    # -- telemetry helpers ---------------------------------------------------
+
+    def mark_ready(self, index):
+        """Called by the scheduler when a stage's deps are satisfied."""
+        with self._lock:
+            self._ready[index] = time.perf_counter()
+
+    def _take_queue_wait(self, index):
+        with self._lock:
+            ready_at = self._ready.pop(index, None)
+        if ready_at is None:
+            return 0.0
+        return max(0.0, time.perf_counter() - ready_at)
+
+    def _count_outcome(self, stage, status):
+        if self._m_outcomes is not None:
+            self._m_outcomes.inc(stage=stage.name, status=status)
+
+    def _observe_duration(self, stage, seconds):
+        if self._m_duration is not None:
+            self._m_duration.observe(seconds, stage=stage.name)
 
     def __call__(self, index):
         stage = self._stages[index]
+        queue_wait = self._take_queue_wait(index)
         try:
             self._control.checkpoint(stage.name)
         except StageCancelled:
@@ -236,11 +299,28 @@ class _StageRunner:
                     f"run deadline expired before stage {stage.name!r}",
                     report=self.report, state=self.state)
             return
+        if self._m_queue_wait is not None:
+            self._m_queue_wait.observe(queue_wait, stage=stage.name)
+        token = (self._profiler.stage_begin(stage.name, stage.layer,
+                                            queue_wait,
+                                            serial=self.serial)
+                 if self._profiler is not None else None)
+        try:
+            self._run_stage(index, stage)
+        finally:
+            if self._profiler is not None:
+                self._profiler.stage_end(token)
+
+    def _run_stage(self, index, stage):
         if self._replay_from_cache(index, stage):
             return
         emit(self._tracer, "stage_start", stage.name, stage.layer)
         attempts = 0
         while True:
+            emit(self._tracer, "stage_attempt", stage.name,
+                 stage.layer, attempt=attempts)
+            if self._m_attempts is not None:
+                self._m_attempts.inc(stage=stage.name)
             view = _ContractView(self.state, stage, self._lock,
                                  self._control,
                                  copy_on_read=self._copy_on_read)
@@ -256,6 +336,8 @@ class _StageRunner:
                     attempts += 1
                     emit(self._tracer, "stage_retry", stage.name,
                          stage.layer, attempt=attempts, error=str(exc))
+                    if self._m_retries is not None:
+                        self._m_retries.inc(stage=stage.name)
                     self._backoff(stage, attempts)
                     continue
                 self._apply_policy(stage, exc, view.elapsed(), attempts)
@@ -291,6 +373,7 @@ class _StageRunner:
     def record_cancelled(self, stage, why):
         emit(self._tracer, "stage_cancelled", stage.name, stage.layer,
              reason=why)
+        self._count_outcome(stage, "cancelled")
         with self._lock:
             self.report.add(stage.layer, stage.name,
                              f"cancelled: {why}", 0.0,
@@ -300,6 +383,7 @@ class _StageRunner:
         reason = self._control.reason or "cancelled"
         emit(self._tracer, "stage_cancelled", stage.name, stage.layer,
              reason=reason)
+        self._count_outcome(stage, "cancelled")
         with self._lock:
             self.report.add(stage.layer, stage.name,
                              f"cancelled: {reason}", view.elapsed(),
@@ -325,6 +409,10 @@ class _StageRunner:
                 self.state.pop(k, None)
         elapsed = time.perf_counter() - started
         emit(self._tracer, "cache_hit", stage.name, stage.layer)
+        if self._m_replays is not None:
+            self._m_replays.inc(stage=stage.name)
+        self._count_outcome(stage, "ok")
+        self._observe_duration(stage, elapsed)
         with self._lock:
             self.report.add(stage.layer, stage.name, entry.summary,
                              elapsed, cache_hit=True, **entry.details)
@@ -342,6 +430,8 @@ class _StageRunner:
             self._cache.store(key, summary, details, delta, deleted)
         emit(self._tracer, "stage_end", stage.name, stage.layer,
              seconds=elapsed)
+        self._count_outcome(stage, "ok")
+        self._observe_duration(stage, elapsed)
         with self._lock:
             self.report.add(stage.layer, stage.name, summary, elapsed,
                              retries=attempts, **dict(details))
@@ -353,6 +443,8 @@ class _StageRunner:
              error=str(exc), retries=attempts)
         if stage.on_error == "skip":
             emit(self._tracer, "stage_skip", stage.name, stage.layer)
+            self._count_outcome(stage, "skipped")
+            self._observe_duration(stage, elapsed)
             with self._lock:
                 self.report.add(stage.layer, stage.name,
                                  f"skipped: {exc}", elapsed,
@@ -363,6 +455,8 @@ class _StageRunner:
             self._run_fallback(stage, exc, elapsed, attempts)
             return
         status = "timed_out" if timed_out else "failed"
+        self._count_outcome(stage, status)
+        self._observe_duration(stage, elapsed)
         with self._lock:
             self.report.add(stage.layer, stage.name,
                              f"{status.replace('_', ' ')}: {exc}",
@@ -389,6 +483,11 @@ class _StageRunner:
             return
         except Exception as fallback_exc:
             total = elapsed + view.elapsed()
+            emit(self._tracer, "stage_error", stage.name, stage.layer,
+                 error=str(fallback_exc), retries=attempts,
+                 fallback=True)
+            self._count_outcome(stage, "failed")
+            self._observe_duration(stage, total)
             with self._lock:
                 self.report.add(stage.layer, stage.name,
                                  f"failed: {fallback_exc}", total,
@@ -405,6 +504,10 @@ class _StageRunner:
             summary, details = outcome
         else:
             summary, details = outcome, {}
+        emit(self._tracer, "stage_end", stage.name, stage.layer,
+             seconds=total, status="fallback")
+        self._count_outcome(stage, "fallback")
+        self._observe_duration(stage, total)
         with self._lock:
             self.report.add(stage.layer, stage.name, summary, total,
                              status="fallback", retries=attempts,

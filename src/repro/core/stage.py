@@ -352,6 +352,20 @@ class _ContractView(MutableMapping):
 
     # -- contract checks ----------------------------------------------------
 
+    @staticmethod
+    def _count_violation(stage_name, side):
+        """Publish a contract violation to the global metrics registry.
+
+        Violations are programming errors and abort the run, so the
+        lazy registry lookup only ever runs on the exceptional path.
+        """
+        from ..observability.metrics import get_registry
+
+        get_registry().counter(
+            "engine.contract_violations_total",
+            "Undeclared state accesses caught by contract views").inc(
+                stage=stage_name, side=side)
+
     def _check_read(self, key):
         reads = self._stage.reads
         if reads is ANY:
@@ -359,6 +373,7 @@ class _ContractView(MutableMapping):
         if key in reads or (self._stage.writes is not ANY
                             and key in self._stage.writes):
             return
+        self._count_violation(self._stage.name, "read")
         raise ContractViolation(
             f"stage {self._stage.name!r} read undeclared key {key!r} "
             f"(declared reads: {sorted(reads)})"
@@ -368,6 +383,7 @@ class _ContractView(MutableMapping):
         writes = self._stage.writes
         if writes is ANY or key in writes:
             return
+        self._count_violation(self._stage.name, "write")
         raise ContractViolation(
             f"stage {self._stage.name!r} wrote undeclared key {key!r} "
             f"(declared writes: {sorted(writes)})"

@@ -86,6 +86,8 @@ class StochasticRouter:
         self._distribution_memo = OrderedDict()
         self._memo_hits = 0
         self._memo_misses = 0
+        self._published_hits = 0
+        self._published_misses = 0
 
     # -- serving memos -----------------------------------------------------
 
@@ -108,8 +110,33 @@ class StochasticRouter:
         while len(memo) > self.memo_size:
             memo.popitem(last=False)
 
+    def _publish_memo_metrics(self):
+        """Flush memo hit/miss deltas to the global metrics registry.
+
+        Called once per served query, not per memo probe, so serving
+        at cache speed never pays for a labeled counter in the loop;
+        the ``decision.router_memo_lookups_total`` series lags the
+        in-flight query by at most one flush.
+        """
+        from ..observability.metrics import get_registry
+
+        hits = self._memo_hits - self._published_hits
+        misses = self._memo_misses - self._published_misses
+        if not hits and not misses:
+            return
+        counter = get_registry().counter(
+            "decision.router_memo_lookups_total",
+            "StochasticRouter serving-memo lookups by outcome")
+        if hits:
+            counter.inc(hits, outcome="hit")
+        if misses:
+            counter.inc(misses, outcome="miss")
+        self._published_hits = self._memo_hits
+        self._published_misses = self._memo_misses
+
     def cache_info(self):
         """Serving-memo observability: hits, misses and sizes."""
+        self._publish_memo_metrics()
         return {
             "hits": self._memo_hits,
             "misses": self._memo_misses,
@@ -120,10 +147,13 @@ class StochasticRouter:
 
     def clear_cache(self):
         """Drop both memos (call after mutating network or cost model)."""
+        self._publish_memo_metrics()
         self._path_memo.clear()
         self._distribution_memo.clear()
         self._memo_hits = 0
         self._memo_misses = 0
+        self._published_hits = 0
+        self._published_misses = 0
 
     def _path_distribution(self, path, departure_minute):
         """Content-keyed, departure-windowed distribution lookup.
@@ -198,6 +228,7 @@ class StochasticRouter:
                    else range(len(paths)))
         best = max(indices,
                    key=lambda i: utility.expected(distributions[i]))
+        self._publish_memo_metrics()
         return paths[best], distributions[best], \
             utility.expected(distributions[best])
 

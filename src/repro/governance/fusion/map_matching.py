@@ -89,6 +89,8 @@ class HmmMapMatcher:
         self._distance_cache = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
+        self._published_hits = 0
+        self._published_misses = 0
 
     # -- internals -----------------------------------------------------------
 
@@ -131,8 +133,33 @@ class HmmMapMatcher:
         exact = straight + self.beta_cutoff * self.beta
         return quantum * math.ceil(exact / quantum)
 
+    def _publish_cache_metrics(self):
+        """Flush hit/miss deltas to the global metrics registry.
+
+        Called once per matched trajectory (not per lookup) so the
+        Dijkstra hot loop never pays for a labeled counter; the
+        ``fusion.distance_cache_lookups_total`` series therefore lags
+        the in-flight trace by at most one flush.
+        """
+        from ...observability.metrics import get_registry
+
+        hits = self._cache_hits - self._published_hits
+        misses = self._cache_misses - self._published_misses
+        if not hits and not misses:
+            return
+        counter = get_registry().counter(
+            "fusion.distance_cache_lookups_total",
+            "HmmMapMatcher distance-LRU lookups by outcome")
+        if hits:
+            counter.inc(hits, outcome="hit")
+        if misses:
+            counter.inc(misses, outcome="miss")
+        self._published_hits = self._cache_hits
+        self._published_misses = self._cache_misses
+
     def cache_info(self):
         """Distance-cache observability: hits, misses, size, maxsize."""
+        self._publish_cache_metrics()
         return {
             "hits": self._cache_hits,
             "misses": self._cache_misses,
@@ -141,9 +168,12 @@ class HmmMapMatcher:
         }
 
     def clear_cache(self):
+        self._publish_cache_metrics()
         self._distance_cache.clear()
         self._cache_hits = 0
         self._cache_misses = 0
+        self._published_hits = 0
+        self._published_misses = 0
 
     def _route_distance(self, candidate_a, candidate_b, cutoff=None):
         """Network distance between two on-edge positions."""
@@ -275,6 +305,7 @@ class HmmMapMatcher:
             best = int(pointers[best])
             chosen.append(best)
         chosen.reverse()
+        self._publish_cache_metrics()
         return [layers[i][c] for i, c in enumerate(chosen)]
 
     def match_many(self, trajectories):

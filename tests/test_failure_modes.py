@@ -10,7 +10,16 @@ garbage.
 import numpy as np
 import pytest
 
-from repro import RoadNetwork, TimeSeries
+from repro import (
+    DecisionPipeline,
+    FaultInjector,
+    RoadNetwork,
+    RunDeadlineExceeded,
+    SpanTracer,
+    StageFailure,
+    TimeSeries,
+)
+from repro.observability.metrics import use_registry
 from repro.analytics.anomaly import AutoencoderDetector, SpectralResidualDetector
 from repro.analytics.forecasting import (
     ARForecaster,
@@ -153,3 +162,136 @@ class TestAdversarialDistributions:
         total = narrow.convolve(wide)
         assert total.probabilities.sum() == pytest.approx(1.0)
         assert total.std() == pytest.approx(wide.std(), rel=0.2)
+
+
+class TestEngineFailureTelemetry:
+    """Every failure policy leaves a matching metric series and span.
+
+    The engine must not just *survive* failures — it must account for
+    them: ``engine.stage_outcomes_total{stage, status}`` counts every
+    terminal outcome and the :class:`SpanTracer` records the matching
+    span status, for each of fail, skip, fallback, retry, timeout and
+    deadline-cancellation.
+    """
+
+    @staticmethod
+    def _run(pipeline, tracer, expect=None, **kwargs):
+        with use_registry() as registry:
+            if expect is None:
+                pipeline.run(tracer=tracer, **kwargs)
+            else:
+                with pytest.raises(expect):
+                    pipeline.run(tracer=tracer, **kwargs)
+        return registry
+
+    def test_fail_policy_counts_failed_outcome(self):
+        spans = SpanTracer()
+        pipeline = DecisionPipeline()
+        pipeline.add_data(
+            "broken",
+            lambda s: (_ for _ in ()).throw(ValueError("boom")),
+            reads=(), writes=("x",))
+        registry = self._run(pipeline, spans, expect=StageFailure)
+        outcomes = registry.get("engine.stage_outcomes_total")
+        assert outcomes.value(stage="broken", status="failed") == 1.0
+        assert spans.span("broken").status == "failed"
+        assert spans.spans(kind="attempt")[0].status == "error"
+        assert spans.span("run", kind="run").status == "failed"
+        assert registry.get("engine.runs_total").value(
+            status="failed") == 1.0
+
+    def test_skip_policy_counts_skipped_outcome(self):
+        spans = SpanTracer()
+        pipeline = DecisionPipeline()
+        pipeline.add_data(
+            "optional",
+            lambda s: (_ for _ in ()).throw(ValueError("boom")),
+            reads=(), writes=("x",), on_error="skip")
+        registry = self._run(pipeline, spans)
+        outcomes = registry.get("engine.stage_outcomes_total")
+        assert outcomes.value(stage="optional", status="skipped") == 1.0
+        assert spans.span("optional").status == "skipped"
+        assert spans.span("run", kind="run").status == "ok"
+
+    def test_fallback_policy_counts_fallback_outcome(self):
+        spans = SpanTracer()
+        pipeline = DecisionPipeline()
+        pipeline.add_data(
+            "primary",
+            lambda s: (_ for _ in ()).throw(ValueError("boom")),
+            reads=(), writes=("x",), on_error="fallback",
+            fallback=lambda s: s.update(x=0) or "safe default")
+        registry = self._run(pipeline, spans)
+        outcomes = registry.get("engine.stage_outcomes_total")
+        assert outcomes.value(stage="primary", status="fallback") == 1.0
+        assert spans.span("primary").status == "fallback"
+        assert spans.spans(kind="fallback")[0].status == "ok"
+
+    def test_retry_counts_attempts_and_retries(self):
+        spans = SpanTracer()
+        faults = FaultInjector().fail("flaky", times=2).forward_to(spans)
+        pipeline = DecisionPipeline()
+        pipeline.add_data("flaky", lambda s: s.update(x=1) or "ok",
+                          reads=(), writes=("x",), retries=2, backoff=0)
+        registry = self._run(pipeline, faults)
+        assert registry.get("engine.stage_attempts_total").value(
+            stage="flaky") == 3.0
+        assert registry.get("engine.stage_retries_total").value(
+            stage="flaky") == 2.0
+        assert registry.get("engine.stage_outcomes_total").value(
+            stage="flaky", status="ok") == 1.0
+        assert registry.get("engine.faults_injected_total").value(
+            stage="flaky", kind="fail") == 2.0
+        assert [a.status for a in spans.spans(kind="attempt")] == \
+            ["retry", "retry", "ok"]
+        assert spans.span("flaky").status == "ok"
+
+    def test_timeout_counts_timed_out_outcome(self):
+        spans = SpanTracer()
+        faults = FaultInjector().timeout("hang").forward_to(spans)
+        pipeline = DecisionPipeline()
+        pipeline.add_data("hang", lambda s: s.update(x=1) or "ok",
+                          reads=(), writes=("x",))
+        registry = self._run(pipeline, faults, expect=StageFailure)
+        outcomes = registry.get("engine.stage_outcomes_total")
+        assert outcomes.value(stage="hang", status="timed_out") == 1.0
+        assert spans.span("hang").status == "timed_out"
+        assert spans.spans(kind="attempt")[0].status == "timeout"
+        assert registry.get("engine.runs_total").value(
+            status="failed") == 1.0
+
+    def test_deadline_cancel_counts_cancelled_outcomes(self):
+        spans = SpanTracer()
+        faults = FaultInjector().delay("first", 0.1).forward_to(spans)
+
+        def stage(key):
+            def run(s):
+                s[key] = True
+                return key
+            return run
+
+        pipeline = DecisionPipeline()
+        pipeline.add_data("first", stage("a"))
+        pipeline.add_governance("second", stage("b"))
+        pipeline.add_decision("third", stage("c"))
+        registry = self._run(pipeline, faults,
+                             expect=RunDeadlineExceeded, deadline=0.03)
+        outcomes = registry.get("engine.stage_outcomes_total")
+        for name in ("first", "second", "third"):
+            assert outcomes.value(stage=name, status="cancelled") == 1.0
+            assert spans.span(name).status == "cancelled"
+        assert spans.span("run", kind="run").status == "cancelled"
+        assert registry.get("engine.runs_total").value(
+            status="deadline_exceeded") == 1.0
+
+    def test_queue_wait_histogram_observes_every_stage(self):
+        pipeline = DecisionPipeline()
+        pipeline.add_data("a", lambda s: s.update(x=1) or "ok",
+                          reads=(), writes=("x",))
+        pipeline.add_decision("b", lambda s: s.update(y=s["x"]) or "ok",
+                              reads=("x",), writes=("y",))
+        with use_registry() as registry:
+            pipeline.run()
+        waits = registry.get("engine.stage_queue_wait_seconds")
+        assert waits.count(stage="a") == 1
+        assert waits.count(stage="b") == 1
