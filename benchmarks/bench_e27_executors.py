@@ -1,0 +1,199 @@
+"""E27 — Executor backends: process-parallel stage execution.
+
+Claim: for a *wide* DAG of CPU-bound pure-Python stages, the
+``ProcessExecutor`` backend scales with cores while the default
+``ThreadExecutor`` flatlines on the GIL — and both produce
+byte-identical final context (by content fingerprint) and identical
+RunReport statuses to the deterministic ``SerialExecutor``.
+
+The workload is one fan-out: a source stage publishes a 512 KB
+ndarray (so the process backend's shared-memory handoff is on the
+measured path), ``WIDTH`` independent worker stages each burn a
+pure-Python arithmetic loop over their slice (pure Python so the GIL
+is actually contended — numpy would release it and hide the effect),
+and a join stage folds the partials.
+
+Equivalence is always asserted.  The speedup floor is asserted only
+when the machine has cores to scale onto (the acceptance target is
+>= 2.5x on 4 cores); on 1-core CI the benchmark still runs and still
+gates equivalence, and the artifact records the observed ratio.
+Results go to ``BENCH_e27.json`` next to ``BENCH_e01.json`` /
+``BENCH_e26.json`` for CI trend tracking.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+
+from repro import DecisionPipeline, ProcessExecutor
+from repro.core.cache import fingerprint
+from repro.observability.metrics import use_registry
+
+ARTIFACT_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_e27.json"
+
+#: Fan-out width of the CPU-bound middle layer.
+WIDTH = 8
+
+#: Pure-Python loop iterations per worker stage (tuned so the eight
+#: stages dominate pool/dispatch overhead while the whole benchmark
+#: stays well under a second per backend on CI).
+SPIN = 150_000
+
+#: Acceptance floor on a 4-core box (ISSUE acceptance criterion).
+TARGET_SPEEDUP = 2.5
+
+
+def src_stage(state):
+    state["base"] = np.arange(65_536, dtype=np.float64)  # 512 KB
+    return "published"
+
+
+def _make_worker(index):
+    offset = index * 7
+
+    def worker(state):
+        base = state["base"]
+        seed = float(base[(offset * 97) % base.size])
+        total = 0
+        for i in range(SPIN):  # pure Python: holds the GIL
+            total = (total * 31 + i + offset) % 1_000_000_007
+        state[f"part_{index}"] = float(total) + seed
+        return f"spun {SPIN}"
+
+    worker.__name__ = worker.__qualname__ = f"worker_{index}"
+    return worker
+
+
+# Module-level bindings so the functions pickle by reference and the
+# stages pass ProcessExecutor's pre-flight.
+for _i in range(WIDTH):
+    globals()[f"worker_{_i}"] = _make_worker(_i)
+del _i
+
+
+def join_stage(state):
+    total = sum(state[f"part_{i}"] for i in range(WIDTH))
+    state["total"] = float(total)
+    return "joined"
+
+
+def build_pipeline():
+    p = DecisionPipeline("e27 wide CPU-bound DAG")
+    p.add_data("source", src_stage, reads=(), writes=("base",))
+    for i in range(WIDTH):
+        p.add_analytics(f"work_{i}", globals()[f"worker_{i}"],
+                        reads=("base",), writes=(f"part_{i}",))
+    p.add_decision("join", join_stage,
+                   reads=tuple(f"part_{i}" for i in range(WIDTH)),
+                   writes=("total",))
+    return p
+
+
+def run_backend(executor, workers):
+    with use_registry() as registry:
+        begin = time.perf_counter()
+        state, report = build_pipeline().run(
+            executor=executor, max_workers=workers, run_id="e27")
+        elapsed = time.perf_counter() - begin
+    snap = registry.snapshot()
+    shm = snap.get("engine.executor_shm_bytes_total",
+                   {"series": []})["series"]
+    return {
+        "seconds": elapsed,
+        "fingerprint": fingerprint(state),
+        "statuses": report.status_map(),
+        "shm_bytes": shm[0]["value"] if shm else 0,
+    }
+
+
+def run_experiment():
+    cores = os.cpu_count() or 1
+    workers = min(WIDTH, cores)
+    process = ProcessExecutor(max_workers=workers)
+    try:
+        # Warm the lazy worker pool so process timing measures the
+        # steady state, not fork cost (the pool persists across runs).
+        warm = DecisionPipeline("warmup")
+        warm.add_data("source", src_stage, reads=(), writes=("base",))
+        warm.run(executor=process)
+
+        results = {
+            "serial": run_backend("serial", None),
+            "thread": run_backend("thread", WIDTH),
+            "process": run_backend(process, WIDTH),
+        }
+    finally:
+        process.close()
+    return cores, results
+
+
+def emit_trajectory(cores, results):
+    speedup = (results["thread"]["seconds"]
+               / results["process"]["seconds"])
+    payload = {
+        "experiment": "e27_executor_backends",
+        "cores": cores,
+        "width": WIDTH,
+        "spin": SPIN,
+        "target_speedup": TARGET_SPEEDUP,
+        "speedup_process_vs_thread": speedup,
+        "identical_context": len({
+            r["fingerprint"] for r in results.values()}) == 1,
+        "shm_bytes_process": results["process"]["shm_bytes"],
+        "backends": {
+            name: {"seconds": r["seconds"],
+                   "fingerprint": r["fingerprint"]}
+            for name, r in results.items()
+        },
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2,
+                                        sort_keys=True) + "\n")
+    return payload
+
+
+@pytest.mark.benchmark(group="e27")
+def test_e27_executor_backends(benchmark):
+    cores, results = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1)
+    payload = emit_trajectory(cores, results)
+    print_table(
+        f"E27: executor backends, {WIDTH}-wide CPU-bound DAG "
+        f"({cores} cores)",
+        [{
+            "backend": name,
+            "seconds": r["seconds"],
+            "vs_serial": results["serial"]["seconds"] / r["seconds"],
+        } for name, r in results.items()],
+    )
+    assert ARTIFACT_PATH.exists()
+
+    # Correctness first, on every machine: all three backends commit
+    # byte-identical final context and identical per-stage statuses.
+    prints = {name: r["fingerprint"] for name, r in results.items()}
+    assert len(set(prints.values())) == 1, prints
+    expected = {"source": "ok", "join": "ok",
+                **{f"work_{i}": "ok" for i in range(WIDTH)}}
+    for name, r in results.items():
+        assert r["statuses"] == expected, name
+
+    # The 512 KB source array crossed to workers via shared memory.
+    assert results["process"]["shm_bytes"] >= 65_536 * 8
+
+    # The perf claim needs cores to scale onto; the acceptance floor
+    # is calibrated for 4. Below that, equivalence still gates above.
+    speedup = payload["speedup_process_vs_thread"]
+    if cores >= 4:
+        assert speedup >= TARGET_SPEEDUP, (
+            f"process vs thread speedup {speedup:.2f}x "
+            f"< {TARGET_SPEEDUP}x on {cores} cores")
+    elif cores >= 2:
+        assert speedup >= 1.2, (
+            f"process backend should still beat threads on "
+            f"{cores} cores; got {speedup:.2f}x")

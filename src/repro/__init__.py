@@ -31,10 +31,13 @@ from .core import (
     ContractViolation,
     DecisionPipeline,
     FaultInjector,
+    ProcessExecutor,
     RunDeadlineExceeded,
+    SerialExecutor,
     StageCache,
     StageFailure,
     StageTimeout,
+    ThreadExecutor,
 )
 from .datatypes import (
     CorrelatedTimeSeries,
@@ -56,11 +59,14 @@ __all__ = [
     "FaultInjector",
     "GpsPoint",
     "MetricsRegistry",
+    "ProcessExecutor",
     "RunDeadlineExceeded",
+    "SerialExecutor",
     "SpanTracer",
     "StageCache",
     "StageFailure",
     "StageTimeout",
+    "ThreadExecutor",
     "ImageSequence",
     "RoadNetwork",
     "TimeSeries",

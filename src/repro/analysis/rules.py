@@ -340,6 +340,78 @@ def check_np_trapezoid(module):
                         "only exists on numpy >= 2.0)")
 
 
+def _local_def_names(module):
+    """Function names defined *only* inside another function's body.
+
+    A reference to such a name from an ``add_*`` call is a closure:
+    it cannot be pickled (pickle serializes functions by qualified
+    module path), so it cannot cross the process boundary.  A name
+    that is also defined at module level is skipped — the analyzer
+    cannot tell which binding the call site sees, and RC022 only
+    reports what it can prove.
+    """
+    cached = getattr(module, "_rc022_local_defs", None)
+    if cached is not None:
+        return cached
+    nested, toplevel = set(), set()
+
+    class _Scan(ast.NodeVisitor):
+        depth = 0
+
+        def _function(self, node, name):
+            (nested if self.depth else toplevel).add(name)
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        def visit_FunctionDef(self, node):
+            self._function(node, node.name)
+
+        def visit_AsyncFunctionDef(self, node):
+            self._function(node, node.name)
+
+        def visit_Lambda(self, node):
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+    _Scan().visit(module.tree)
+    local = nested - toplevel
+    module._rc022_local_defs = local
+    return local
+
+
+@register_rule(
+    "RC022", name="unpicklable-stage-function", severity=WARNING,
+    scope="stage",
+    summary="stage function is a lambda or locally defined closure, "
+            "which cannot be pickled and so cannot run under "
+            "ProcessExecutor")
+def check_unpicklable_stage_function(stage, pipeline, module):
+    for role, fx in (("function", stage.effects),
+                     ("fallback", stage.fallback_effects)):
+        if fx is None:
+            continue
+        if fx.name == "<lambda>":
+            yield finding_at(
+                module, "RC022", fx.lineno,
+                f"stage {stage.name!r} {role} is a lambda, which "
+                "cannot be pickled; under ProcessExecutor the stage "
+                "falls back to in-parent execution (or fails with "
+                "on_unpicklable='error') -- define it as a "
+                "module-level function",
+                stage=stage.name)
+        elif fx.name in _local_def_names(module):
+            yield finding_at(
+                module, "RC022", fx.lineno,
+                f"stage {stage.name!r} {role} {fx.name!r} is defined "
+                "inside another function, so it -- and anything it "
+                "closes over: locks, open files, enclosing-scope "
+                "state -- cannot be pickled to a ProcessExecutor "
+                "worker; move it to module level",
+                stage=stage.name)
+
+
 @register_rule(
     "RC021", name="unbounded-dijkstra-all", severity=WARNING,
     scope="module",

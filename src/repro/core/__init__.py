@@ -5,6 +5,15 @@ Data-Governance-Analytics-Decision pipeline with bounded execution
 
 from .cache import StageCache
 from .events import CollectingTracer, PrintTracer, StageEvent, Tracer
+from .executors import (
+    Executor,
+    ExecutorError,
+    ProcessExecutor,
+    RemoteStageError,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
 from .faults import FaultInjector
 from .pipeline import DecisionPipeline
 from .report import RunReport, StageRecord
@@ -23,10 +32,15 @@ __all__ = [
     "CollectingTracer",
     "ContractViolation",
     "DecisionPipeline",
+    "Executor",
+    "ExecutorError",
     "FaultInjector",
     "PrintTracer",
+    "ProcessExecutor",
+    "RemoteStageError",
     "RunDeadlineExceeded",
     "RunReport",
+    "SerialExecutor",
     "Stage",
     "StageCache",
     "StageCancelled",
@@ -34,5 +48,7 @@ __all__ = [
     "StageFailure",
     "StageRecord",
     "StageTimeout",
+    "ThreadExecutor",
     "Tracer",
+    "resolve_executor",
 ]

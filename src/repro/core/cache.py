@@ -297,6 +297,39 @@ class StageCache:
             "Entries currently stored in the StageCache").set(size)
         return True
 
+    def merge(self, other):
+        """Fold another cache's entries into this one.
+
+        Content keys are process-independent by construction — the
+        function fingerprint is structural (bytecode, names,
+        constants), never address-based — so entries computed in a
+        worker process or by a different run of the same pipeline are
+        valid here verbatim.  On key collision the existing entry
+        wins: two caches can only disagree about a key's value if one
+        of them is corrupt, and the local one is the devil we know.
+        Returns the number of entries added.
+        """
+        if isinstance(other, StageCache):
+            with other._lock:
+                entries = dict(other._entries)
+        else:
+            entries = dict(other)
+        added = 0
+        with self._lock:
+            for key, entry in entries.items():
+                if not isinstance(entry, CacheEntry):
+                    raise TypeError(
+                        f"cache entry for key {key!r} is "
+                        f"{type(entry).__name__}, not CacheEntry")
+                if key not in self._entries:
+                    self._entries[key] = entry
+                    added += 1
+            size = len(self._entries)
+        self._metrics().gauge(
+            "engine.stage_cache_entries",
+            "Entries currently stored in the StageCache").set(size)
+        return added
+
     def clear(self):
         with self._lock:
             self._entries.clear()

@@ -22,6 +22,7 @@ from __future__ import annotations
 from .stage import ANY, contracts_overlap
 
 __all__ = [
+    "Frontier",
     "resolve_dependencies",
     "data_dependencies",
     "external_reads",
@@ -90,6 +91,54 @@ def is_chain(deps):
     The scheduler then skips the thread pool entirely.
     """
     return all(j - 1 in deps[j] for j in range(1, len(deps)))
+
+
+class Frontier:
+    """Ready-queue bookkeeping over a resolved DAG.
+
+    Tracks which stages are runnable (every dependency finished),
+    which have been *claimed* for execution, and which never started.
+    Pure DAG mechanics — no threads, pools, futures or locks — so any
+    execution backend drives an instance the same way; the caller
+    serializes access (the scheduler touches it only from its
+    completion loop).
+    """
+
+    def __init__(self, deps):
+        self._remaining = [len(d) for d in deps]
+        self._dependents = [[] for _ in deps]
+        for j, dep_set in enumerate(deps):
+            for i in dep_set:
+                self._dependents[i].append(j)
+        self._claimed = set()
+
+    def take_ready(self):
+        """Claim and return every currently runnable, unclaimed index."""
+        ready = [i for i, left in enumerate(self._remaining)
+                 if left == 0 and i not in self._claimed]
+        self._claimed.update(ready)
+        return ready
+
+    def claim(self, index):
+        """Mark one index as handed to the backend for execution."""
+        self._claimed.add(index)
+
+    def complete(self, index):
+        """Mark a claimed index finished; return the dependents it
+        made runnable (unclaimed — the caller claims those it actually
+        submits, so an aborting run leaves them for
+        :meth:`unstarted`)."""
+        unblocked = []
+        for j in self._dependents[index]:
+            self._remaining[j] -= 1
+            if self._remaining[j] == 0 and j not in self._claimed:
+                unblocked.append(j)
+        return unblocked
+
+    def unstarted(self):
+        """Indices never claimed — recorded as cancelled on abort."""
+        return [i for i in range(len(self._remaining))
+                if i not in self._claimed]
 
 
 def critical_path_seconds(durations, deps):

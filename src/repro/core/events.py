@@ -86,6 +86,29 @@ class StageEvent:
         self.monotonic = time.perf_counter()
         self.data = data
 
+    def to_dict(self):
+        """The event as plain JSON-ready data.
+
+        The wire form events travel in when they cross a process
+        boundary (executor workers ship them back as dicts) or land
+        in artifacts; :meth:`from_dict` round-trips it.
+        """
+        return {"kind": self.kind, "stage": self.stage,
+                "layer": self.layer, "timestamp": self.timestamp,
+                "monotonic": self.monotonic, "data": dict(self.data)}
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild an event from :meth:`to_dict` output, preserving
+        the original emission timestamps."""
+        event = cls(payload["kind"], payload.get("stage"),
+                    payload.get("layer"), **dict(payload.get("data", {})))
+        if "timestamp" in payload:
+            event.timestamp = float(payload["timestamp"])
+        if "monotonic" in payload:
+            event.monotonic = float(payload["monotonic"])
+        return event
+
     def __repr__(self):
         where = f" {self.layer}/{self.stage}" if self.stage else ""
         extra = f" {self.data}" if self.data else ""

@@ -27,13 +27,37 @@ engine responded.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 
 from .events import CollectingTracer, StageEvent
 from .stage import StageTimeout
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "attempt_seed", "attempt_jitter"]
+
+
+def attempt_seed(run_id, stage, attempt):
+    """Deterministic 64-bit seed for one (run_id, stage, attempt).
+
+    sha256-based so the value is identical across processes and
+    interpreter launches — ``hash()`` is salted per process
+    (``PYTHONHASHSEED``) and would make process workers disagree with
+    the parent.  This is what keeps jittered backoff and jittered
+    fault delays reproducible under every executor backend.
+    """
+    token = f"{run_id}\x1f{stage}\x1f{int(attempt)}".encode()
+    return int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+
+
+def attempt_jitter(run_id, stage, attempt, low=0.5, high=1.0):
+    """Deterministic jitter factor in ``[low, high)`` for one attempt.
+
+    Replaces ``random.random()`` in retry backoff: reruns of the same
+    ``run_id`` back off identically, on any backend, in any process.
+    """
+    unit = attempt_seed(run_id, stage, attempt) / 2.0 ** 64
+    return low + (high - low) * unit
 
 
 class FaultInjector(CollectingTracer):
@@ -53,6 +77,14 @@ class FaultInjector(CollectingTracer):
         self._plans = {}
         self._plans_lock = threading.Lock()
         self.injected = 0
+        self.run_id = ""
+
+    def on_event(self, event):
+        # Capture the run's identity from the run_start event so
+        # jittered delays can seed from (run_id, stage, attempt).
+        if event.kind == "run_start":
+            self.run_id = event.data.get("run_id", self.run_id)
+        super().on_event(event)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -74,14 +106,21 @@ class FaultInjector(CollectingTracer):
             raise TypeError("exc must be an exception instance")
         return self._schedule(stage, "fail", exc, times)
 
-    def delay(self, stage, seconds, times=1):
+    def delay(self, stage, seconds, times=1, jitter=0.0):
         """Sleep ``seconds`` before the next ``times`` attempts —
         the deterministic way to trip a stage ``timeout`` or a run
-        ``deadline``."""
+        ``deadline``.  ``jitter`` adds up to that many extra seconds,
+        derived from :func:`attempt_seed` over
+        (run_id, stage, attempt) — never from process-local RNG state,
+        so the same run_id replays the same delays on every backend.
+        """
         seconds = float(seconds)
+        jitter = float(jitter)
         if seconds < 0:
             raise ValueError("seconds must be >= 0")
-        return self._schedule(stage, "delay", seconds, times)
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        return self._schedule(stage, "delay", (seconds, jitter), times)
 
     def timeout(self, stage, times=1):
         """Make the next ``times`` attempts time out instantly, as if
@@ -120,7 +159,13 @@ class FaultInjector(CollectingTracer):
         if kind == "fail":
             raise payload
         if kind == "delay":
-            time.sleep(payload)
+            base, spread = payload
+            pause = base
+            if spread:
+                pause += spread * attempt_jitter(self.run_id,
+                                                 stage_name, attempt,
+                                                 low=0.0, high=1.0)
+            time.sleep(pause)
             return
         if kind == "timeout":
             raise StageTimeout(stage_name, 0.0)

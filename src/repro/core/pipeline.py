@@ -37,8 +37,11 @@ sequentially in layer order.
 
 from __future__ import annotations
 
+import uuid
+
 from . import dag as _dag
 from .events import emit
+from .executors import resolve_executor
 from .report import RunReport
 from .scheduler import DagScheduler
 from .stage import Stage
@@ -161,7 +164,7 @@ class DecisionPipeline:
 
     def run(self, initial_state=None, *, cache=None, tracer=None,
             max_workers=None, deadline=None, copy_on_read=False,
-            metrics=None, profile=False):
+            metrics=None, profile=False, executor=None, run_id=None):
         """Execute the stage DAG.
 
         Parameters
@@ -169,6 +172,23 @@ class DecisionPipeline:
         initial_state:
             Seed state entries (copied; the caller's dict is never
             mutated).
+        executor:
+            Where stage attempts run: an
+            :class:`~repro.core.executors.Executor` instance or a
+            name — ``"thread"`` (default; right for I/O-bound and
+            GIL-releasing numpy stages), ``"process"`` (CPU-bound
+            pure-Python stages scale with cores; see
+            ``docs/EXECUTORS.md`` for pickling and shared-memory
+            semantics) or ``"serial"`` (deterministic inline
+            debugging).  ``None`` consults the ``REPRO_EXECUTOR``
+            environment variable.  Results are backend-independent
+            for contract-correct pipelines.
+        run_id:
+            Identity of this run, recorded on the report and the
+            ``run_start`` event, and the seed of every deterministic
+            per-attempt jitter (retry backoff, jittered fault
+            delays).  Default: a fresh 12-hex-digit id; pass a fixed
+            value to make retry timing reproducible across reruns.
         cache:
             Optional :class:`~repro.core.cache.StageCache`; stages
             with declared contracts replay from it when their whole
@@ -232,9 +252,13 @@ class DecisionPipeline:
         stages = self._ordered_stages()
         if not stages:
             raise RuntimeError("pipeline has no stages")
+        executor = resolve_executor(executor)
+        run_id = (uuid.uuid4().hex[:12] if run_id is None
+                  else str(run_id))
         state = dict(initial_state or {})
         deps = _dag.resolve_dependencies(stages)
         report = RunReport(title=self.title)
+        report.run_id = run_id
         report.set_dag([
             (stage.name, tuple(stages[i].name for i in sorted(deps[j])))
             for j, stage in enumerate(stages)
@@ -242,7 +266,8 @@ class DecisionPipeline:
         report.set_deadline(deadline)
         metrics = metrics if metrics is not None else get_registry()
         profiler = RunProfiler().start() if profile else None
-        emit(tracer, "run_start", stages=len(stages))
+        emit(tracer, "run_start", stages=len(stages), run_id=run_id,
+             executor=executor.kind)
         scheduler = DagScheduler(max_workers=max_workers)
         run_status = "ok"
         try:
@@ -250,7 +275,8 @@ class DecisionPipeline:
                               cache=cache, tracer=tracer,
                               deadline=deadline,
                               copy_on_read=copy_on_read,
-                              metrics=metrics, profiler=profiler)
+                              metrics=metrics, profiler=profiler,
+                              executor=executor, run_id=run_id)
         except RunDeadlineExceeded:
             run_status = "deadline_exceeded"
             raise

@@ -68,6 +68,7 @@ class RunReport:
         self.dag = []
         self.deadline_seconds = None
         self.profiles = {}
+        self.run_id = None
         self._started = time.perf_counter()
         self._finished = None
 
@@ -136,6 +137,16 @@ class RunReport:
             if r.name == name:
                 return r
         raise KeyError(f"no record for stage {name!r}")
+
+    def status_map(self):
+        """``{stage name: status}`` over the recorded stages.
+
+        The compact equivalence surface the executor-backend tests
+        compare: two runs of the same pipeline agree iff their status
+        maps (and final states) agree, regardless of record order,
+        timings or backend.
+        """
+        return {r.name: r.status for r in self.records}
 
     # -- timings -------------------------------------------------------------
 

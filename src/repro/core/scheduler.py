@@ -1,14 +1,22 @@
 """The DAG scheduler: concurrent stage execution with failure policies.
 
 Given stages and their resolved dependencies, the scheduler runs
-every stage whose dependencies are satisfied, fanning independent
-stages out over a ``ThreadPoolExecutor``.  The library's stages are
-numpy-heavy (GIL-releasing) or I/O-bound, so threads buy real
-wall-clock parallelism without pickling state between processes.
+every stage whose dependencies are satisfied.  *When* a stage may run
+is decided here, over a backend-agnostic
+:class:`~repro.core.dag.Frontier`; *where* its attempts run is
+delegated to a pluggable :class:`~repro.core.executors.Executor` —
+threads by default (right for I/O-bound and GIL-releasing numpy
+stages), worker processes for CPU-bound pure-Python stages, or
+serial for debugging.  Whatever the backend, orchestration (retries,
+backoff, failure policies, commits, events, cache replay) happens on
+the parent's threads, so traces, metrics and reports are identical
+across backends.
 
 Chain-shaped DAGs — which every legacy wildcard-contract pipeline
 resolves to — are detected and executed inline in the calling
 thread: identical semantics to the old for-loop, zero pool overhead.
+(A non-``concurrent`` backend such as ``SerialExecutor`` forces the
+same deterministic topological-order path for any DAG shape.)
 
 Execution is *transactional*: each attempt runs against a buffering
 :class:`~repro.core.stage._ContractView` and its writes (including
@@ -55,14 +63,16 @@ slow, flaky or hung stages.
 
 from __future__ import annotations
 
-import random
+import contextlib
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 
 from . import cache as _cache
 from . import dag as _dag
-from .events import emit
+from . import executors as _executors
+from .events import StageEvent, emit
+from .faults import attempt_jitter
 from .stage import (
     ContractViolation,
     RunDeadlineExceeded,
@@ -130,21 +140,38 @@ class DagScheduler:
 
     def execute(self, stages, deps, state, report, *, cache=None,
                 tracer=None, deadline=None, copy_on_read=False,
-                metrics=None, profiler=None):
-        """Run all stages; mutates ``state`` and ``report`` in place."""
+                metrics=None, profiler=None, executor=None,
+                run_id=None):
+        """Run all stages; mutates ``state`` and ``report`` in place.
+
+        ``executor`` selects the backend (an
+        :class:`~repro.core.executors.Executor`, a name, or ``None``
+        for the environment default); ``run_id`` seeds deterministic
+        per-attempt jitter.
+        """
+        executor = _executors.resolve_executor(executor)
         lock = threading.RLock()
         control = _RunControl(deadline)
         keys = (_cache.stage_keys(stages, deps, state)
                 if cache is not None else [None] * len(stages))
-        run = _StageRunner(stages, state, report, lock, cache, keys,
-                           tracer, control,
-                           copy_on_read=copy_on_read,
-                           metrics=metrics, profiler=profiler)
-        if len(stages) <= 1 or _dag.is_chain(deps):
-            run.serial = True
-            self._execute_chain(stages, run)
-            return
-        self._execute_concurrent(stages, deps, run, control)
+        session = executor.begin_run(stages,
+                                     max_workers=self.max_workers,
+                                     metrics=metrics)
+        try:
+            run = _StageRunner(stages, state, report, lock, cache,
+                               keys, tracer, control,
+                               copy_on_read=copy_on_read,
+                               metrics=metrics, profiler=profiler,
+                               session=session, run_id=run_id)
+            if (not executor.concurrent or len(stages) <= 1
+                    or _dag.is_chain(deps)):
+                run.serial = True
+                self._execute_chain(stages, run)
+                return
+            self._execute_concurrent(stages, deps, run, control,
+                                     session)
+        finally:
+            session.finish()
 
     def _execute_chain(self, stages, run):
         for index in range(len(stages)):
@@ -157,44 +184,32 @@ class DagScheduler:
                                        run)
                 raise
 
-    def _execute_concurrent(self, stages, deps, run, control):
-        n = len(stages)
-        remaining = [len(d) for d in deps]
-        dependents = [[] for _ in range(n)]
-        for j, dep_set in enumerate(deps):
-            for i in dep_set:
-                dependents[i].append(j)
+    def _execute_concurrent(self, stages, deps, run, control, session):
+        frontier = _dag.Frontier(deps)
         failures = []
-        started = set()
-        workers = self.max_workers or min(32, n)
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = {}
-            for i in range(n):
-                if remaining[i] == 0:
-                    run.mark_ready(i)
-                    futures[pool.submit(run, i)] = i
-                    started.add(i)
-            while futures:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = futures.pop(future)
-                    error = future.exception()
-                    if error is not None:
-                        failures.append(error)
-                        # Cancel every other in-flight stage: their
-                        # next state access aborts the attempt, and
-                        # nothing they did so far was committed.
-                        control.cancel(
-                            f"stage {stages[index].name!r} aborted "
-                            "the run")
-                    for j in dependents[index]:
-                        remaining[j] -= 1
-                        if (remaining[j] == 0 and not failures
-                                and not control.cancelled):
-                            run.mark_ready(j)
-                            futures[pool.submit(run, j)] = j
-                            started.add(j)
-        unrun = [j for j in range(n) if j not in started]
+        futures = {}
+        for i in frontier.take_ready():
+            run.mark_ready(i)
+            futures[session.submit(run, i)] = i
+        while futures:
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures.pop(future)
+                error = future.exception()
+                if error is not None:
+                    failures.append(error)
+                    # Cancel every other in-flight stage: their
+                    # next state access aborts the attempt, and
+                    # nothing they did so far was committed.
+                    control.cancel(
+                        f"stage {stages[index].name!r} aborted "
+                        "the run")
+                for j in frontier.complete(index):
+                    if not failures and not control.cancelled:
+                        frontier.claim(j)
+                        run.mark_ready(j)
+                        futures[session.submit(run, j)] = j
+        unrun = frontier.unstarted()
         if failures:
             self._record_cancelled(stages, unrun, run)
             primary = failures[0]
@@ -226,7 +241,7 @@ class _StageRunner:
 
     def __init__(self, stages, state, report, lock, cache, keys,
                  tracer, control, *, copy_on_read=False, metrics=None,
-                 profiler=None):
+                 profiler=None, session=None, run_id=None):
         self._stages = stages
         self.state = state
         self.report = report
@@ -238,6 +253,9 @@ class _StageRunner:
         self._copy_on_read = copy_on_read
         self._inject = getattr(tracer, "inject", None)
         self._profiler = profiler
+        self._session = (session if session is not None
+                         else _executors._Session())
+        self._run_id = "" if run_id is None else str(run_id)
         self._ready = {}
         self.serial = False
         if metrics is not None:
@@ -325,7 +343,7 @@ class _StageRunner:
                                  self._control,
                                  copy_on_read=self._copy_on_read)
             try:
-                outcome = self._attempt(stage, view, attempts)
+                outcome = self._attempt(index, stage, view, attempts)
             except ContractViolation:
                 raise  # programming error: never retried or absorbed
             except StageCancelled:
@@ -345,10 +363,12 @@ class _StageRunner:
             self._record_success(index, stage, outcome, view, attempts)
             return
 
-    def _attempt(self, stage, view, attempt):
+    def _attempt(self, index, stage, view, attempt):
         """One bounded attempt: inject faults, run, enforce timeout."""
         if self._inject is not None:
             self._inject(stage.name, attempt)
+        if self._session.remote(index):
+            return self._remote_attempt(index, stage, view, attempt)
         outcome = stage.function(view)
         # An attempt that returns over budget is as timed out as one
         # caught mid-flight: it must not commit.
@@ -356,12 +376,43 @@ class _StageRunner:
             raise StageTimeout(stage.name, stage.timeout)
         return outcome
 
+    def _remote_attempt(self, index, stage, view, attempt):
+        """Ship the attempt to the backend's workers and graft the
+        returned delta into this attempt's transactional buffers, so
+        commit, rollback, retries and cache storage behave exactly as
+        for an in-process attempt."""
+        outcome, delta, deleted, events = self._session.run_attempt(
+            index, stage, self.state, self._lock, self._control,
+            attempt)
+        for payload in events:
+            if self._tracer is not None:
+                with contextlib.suppress(Exception):
+                    self._tracer.on_event(StageEvent.from_dict(payload))
+        for key, value in delta.items():
+            view._writes[key] = value
+            view._deleted.discard(key)
+            view.written.add(key)
+        for key in deleted:
+            view._writes.pop(key, None)
+            view._deleted.add(key)
+            view.written.add(key)
+        if view.timed_out():
+            raise StageTimeout(stage.name, stage.timeout)
+        return outcome
+
     def _backoff(self, stage, attempt):
-        """Jittered exponential pause before the next attempt."""
+        """Jittered exponential pause before the next attempt.
+
+        The jitter factor is derived deterministically from
+        (run_id, stage, attempt) — see
+        :func:`~repro.core.faults.attempt_jitter` — never from
+        process-local RNG state, so reruns of the same run_id back
+        off identically on every backend.
+        """
         if stage.backoff <= 0:
             return
         delay = min(BACKOFF_CAP, stage.backoff * 2 ** (attempt - 1))
-        delay *= 0.5 + 0.5 * random.random()  # full jitter, [50%, 100%]
+        delay *= attempt_jitter(self._run_id, stage.name, attempt)
         budget = self._control.remaining()
         if budget is not None:
             delay = min(delay, budget)

@@ -173,6 +173,39 @@ class Histogram(_Metric):
             else:
                 series["bucket_counts"][-1] += 1
 
+    def absorb(self, sample, **labels):
+        """Merge one snapshot series dict into this family's series.
+
+        ``sample`` has the :meth:`_snapshot_series` shape (``count``,
+        ``sum``, ``min``, ``max``, ``bucket_counts``); bucket
+        boundaries must match — this is how worker-process histograms
+        fold into the parent registry without shipping raw samples.
+        """
+        counts = [int(c) for c in sample["bucket_counts"]]
+        if len(counts) != len(self.buckets) + 1:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot absorb a snapshot "
+                f"with {len(counts)} bucket counts into "
+                f"{len(self.buckets) + 1} buckets")
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                self._series[key] = {
+                    "count": int(sample["count"]),
+                    "sum": float(sample["sum"]),
+                    "min": float(sample["min"]),
+                    "max": float(sample["max"]),
+                    "bucket_counts": counts,
+                }
+                return
+            series["count"] += int(sample["count"])
+            series["sum"] += float(sample["sum"])
+            series["min"] = min(series["min"], float(sample["min"]))
+            series["max"] = max(series["max"], float(sample["max"]))
+            series["bucket_counts"] = [
+                a + b for a, b in zip(series["bucket_counts"], counts)]
+
     def count(self, **labels):
         """Number of samples observed for one label set."""
         with self._lock:
@@ -250,6 +283,42 @@ class MetricsRegistry:
         """Drop every family (tests; a fresh registry is equivalent)."""
         with self._lock:
             self._metrics.clear()
+
+    def merge_snapshot(self, snapshot):
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The cross-process aggregation path: an executor worker runs
+        each stage attempt against a fresh registry and ships the
+        snapshot back with the result; merging it here keeps the
+        parent's ``engine.*`` series complete.  Counters add their
+        totals, histograms absorb counts/sums/bucket tallies
+        (boundaries must match), and gauges take the incoming value
+        (last write wins — gauges are instantaneous by definition).
+        """
+        for name, entry in dict(snapshot).items():
+            kind = entry.get("type")
+            series = entry.get("series", ())
+            if kind == "counter":
+                counter = self.counter(name,
+                                       entry.get("description", ""))
+                for sample in series:
+                    counter.inc(sample["value"], **sample["labels"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, entry.get("description", ""))
+                for sample in series:
+                    gauge.set(sample["value"], **sample["labels"])
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    name, entry.get("description", ""),
+                    buckets=tuple(entry.get("buckets",
+                                            DEFAULT_BUCKETS)))
+                for sample in series:
+                    histogram.absorb(sample, **sample["labels"])
+            else:
+                raise ValueError(
+                    f"cannot merge metric {name!r} of unknown type "
+                    f"{kind!r}")
+        return self
 
     def snapshot(self):
         """Everything, as plain JSON-ready data keyed by family name."""

@@ -106,34 +106,53 @@ class TraceCapture:
         return False
 
 
+def _demo_collect(s):
+    s["raw"] = [3.0, None, 5.0]
+    return "ok"
+
+
+def _demo_repair(s):
+    s["clean"] = [v if v is not None else 4.0 for v in s["raw"]]
+    return "ok"
+
+
+def _demo_detect(s):
+    raise ValueError("detector offline")
+
+
+def _demo_act(s):
+    raise RuntimeError("primary actuator down")
+
+
+def _demo_hold(s):
+    s["action"] = "hold"
+    return "held position"
+
+
 def _run_demo():
     """A small self-contained pipeline with a scripted fault, so the
-    demo trace shows a retry, a skip and a fallback."""
+    demo trace shows a retry, a skip and a fallback.  Stage functions
+    are module-level (not lambdas) so the demo also runs under
+    ``REPRO_EXECUTOR=process``."""
     from .core.faults import FaultInjector
 
     faults = FaultInjector().fail("repair", times=1)
     pipeline = DecisionPipeline("repro.trace demo")
     pipeline.add_data(
-        "collect", lambda s: s.update(raw=[3.0, None, 5.0]) or "ok",
-        reads=(), writes=("raw",))
+        "collect", _demo_collect, reads=(), writes=("raw",))
     pipeline.add_governance(
-        "repair",
-        lambda s: s.update(
-            clean=[v if v is not None else 4.0 for v in s["raw"]])
-        or "ok",
+        "repair", _demo_repair,
         reads=("raw",), writes=("clean",), retries=1, backoff=0.0)
     # The last two stages fail on purpose (the demo trace should show
     # a skip and a fallback), so their declared contracts are never
     # exercised — that staleness is the point here.
     pipeline.add_analytics(  # noqa: RC003
-        "detect", lambda s: (_ for _ in ()).throw(
-            ValueError("detector offline")),
+        "detect", _demo_detect,
         reads=("clean",), writes=("scores",), on_error="skip")
     pipeline.add_decision(  # noqa: RC003
-        "act", lambda s: (_ for _ in ()).throw(
-            RuntimeError("primary actuator down")),
+        "act", _demo_act,
         reads=("clean",), writes=("action",), on_error="fallback",
-        fallback=lambda s: s.update(action="hold") or "held position")
+        fallback=_demo_hold)
     _, report = pipeline.run(tracer=faults, max_workers=1)
     print(report.render())
 

@@ -521,6 +521,81 @@ def reach(network, source):
         assert only(analyze_source(src), "RC021") == []
 
 
+# -- RC022 unpicklable stage function ----------------------------------------
+
+
+class TestUnpicklableStageFunction:
+    def test_lambda_stage(self):
+        src = PRELUDE + """
+p = DecisionPipeline()
+p.add_data("lam", lambda state: None,  # MARK
+           reads=(), writes=())
+"""
+        findings = only(analyze_source(src), "RC022")
+        assert [f.line for f in findings] == [line_of(src, "# MARK")]
+        assert findings[0].severity == "warning"
+        assert findings[0].stage == "lam"
+        assert "ProcessExecutor" in findings[0].message
+
+    def test_lambda_fallback(self):
+        src = PRELUDE + """
+def work(state):
+    state["out"] = 1
+
+p = DecisionPipeline()
+p.add_data("w", work, reads=(), writes=("out",),
+           on_error="fallback",
+           fallback=lambda state: None)  # MARK
+"""
+        findings = only(analyze_source(src), "RC022")
+        assert [f.line for f in findings] == [line_of(src, "# MARK")]
+        assert "fallback" in findings[0].message
+
+    def test_nested_def(self):
+        src = PRELUDE + """
+def build():
+    def work(state):  # MARK
+        state["out"] = 1
+    p = DecisionPipeline()
+    p.add_data("w", work, reads=(), writes=("out",))
+    return p
+"""
+        findings = only(analyze_source(src), "RC022")
+        assert [f.line for f in findings] == [line_of(src, "# MARK")]
+        assert "pickled" in findings[0].message
+
+    def test_module_level_def_is_clean(self):
+        src = PRELUDE + """
+def work(state):
+    state["out"] = 1
+
+p = DecisionPipeline()
+p.add_data("w", work, reads=(), writes=("out",))
+"""
+        assert only(analyze_source(src), "RC022") == []
+
+    def test_shadowed_name_is_skipped(self):
+        # A nested def whose name also exists at module level: the
+        # analyzer cannot prove which binding the add_data site sees,
+        # so it stays quiet rather than risk a false positive.
+        src = PRELUDE + """
+def work(state):
+    state["out"] = 1
+
+def build():
+    def work(state):
+        state["out"] = 2
+    return work
+
+p = DecisionPipeline()
+p.add_data("w", work, reads=(), writes=("out",))
+"""
+        assert only(analyze_source(src), "RC022") == []
+
+    def test_listed_in_catalogue(self):
+        assert "RC022" in {rule.code for rule in all_rules()}
+
+
 # -- parsing, suppression, extraction edge cases -----------------------------
 
 
