@@ -13,6 +13,8 @@ paradigm from the ICDE 2025 tutorial by Yang, Liang, Guo and Jensen:
 * :mod:`repro.decision` -- decision making under uncertainty,
   multi-objective, personalized and learning-based strategies (Sec. II-D),
 * :mod:`repro.core` -- the end-to-end pipeline of Figure 1,
+* :mod:`repro.serve` -- the request-facing serving layer (batching,
+  deadlines, admission control),
 * :mod:`repro.benchmarking` -- the unified evaluation harness.
 """
 
@@ -25,6 +27,7 @@ from . import (
     decision,
     governance,
     observability,
+    serve,
 )
 from .core import (
     CollectingTracer,
@@ -48,6 +51,7 @@ from .datatypes import (
     Trajectory,
 )
 from .observability import MetricsRegistry, SpanTracer
+from .serve import DecisionServer
 
 __version__ = "1.0.0"
 
@@ -56,6 +60,7 @@ __all__ = [
     "ContractViolation",
     "CorrelatedTimeSeries",
     "DecisionPipeline",
+    "DecisionServer",
     "FaultInjector",
     "GpsPoint",
     "MetricsRegistry",
@@ -79,5 +84,6 @@ __all__ = [
     "decision",
     "governance",
     "observability",
+    "serve",
     "__version__",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import threading
 
 import networkx as nx
 import numpy as np
@@ -217,6 +218,16 @@ class RoadNetwork:
     Nodes are arbitrary hashables with a ``pos=(x, y)`` attribute; edges
     carry at least a positive ``length``.  Additional per-edge data (speed
     distributions, observed weights) is attached by the governance layer.
+
+    **Thread-safety contract:** every *query* method (geometry lookups,
+    ``candidate_edges``, ``nearest_node``, Dijkstra variants, path
+    utilities) is safe to call from many threads concurrently — the
+    lazily built geometry/adjacency snapshots are constructed under a
+    lock and installed atomically, so concurrent first callers never
+    observe a torn snapshot and never duplicate a build.  *Mutation*
+    (``set_edge_attribute``, editing ``graph`` in place,
+    ``invalidate_geometry``) is not synchronized against concurrent
+    queries; quiesce queries before mutating, exactly as before.
     """
 
     def __init__(self, graph=None):
@@ -227,9 +238,32 @@ class RoadNetwork:
         for u, v, data in self._graph.edges(data=True):
             if data.get("length", 0) <= 0:
                 raise ValueError(f"edge ({u!r}, {v!r}) needs a positive length")
-        self._geometry_index = None
-        self._geometry_key = None
+        self._init_caches()
+
+    def _init_caches(self):
+        """Fresh snapshot holders + the lock that guards their builds."""
+        self._cache_lock = threading.RLock()
+        # (revision_key, _GeometryIndex) installed as ONE tuple so
+        # readers can never pair a stale key with a fresh index.
+        self._geometry_snapshot = None
         self._adjacency_cache = {}
+
+    def __getstate__(self):
+        """Pickle without the lock; snapshots rebuild lazily on load.
+
+        Dropping the caches also keeps content fingerprints (and
+        process-executor shipping) independent of how warm this
+        network's lazy indexes happen to be.
+        """
+        state = self.__dict__.copy()
+        state.pop("_cache_lock", None)
+        state["_geometry_snapshot"] = None
+        state["_adjacency_cache"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._init_caches()
 
     # -- construction ------------------------------------------------------
 
@@ -354,12 +388,23 @@ class RoadNetwork:
         nodes/edges rebuilds it automatically.  In-place *coordinate*
         mutation of an existing node is not detectable this way — call
         :meth:`invalidate_geometry` after moving nodes.
+
+        Safe under concurrency: the fast path reads one atomically
+        installed ``(key, index)`` tuple; the build path serializes on
+        the cache lock and double-checks, so a rebuild runs once no
+        matter how many threads race the first query.
         """
         key = self._revision()
-        if self._geometry_index is None or self._geometry_key != key:
-            self._geometry_index = _GeometryIndex(self._graph)
-            self._geometry_key = key
-        return self._geometry_index
+        snapshot = self._geometry_snapshot
+        if snapshot is not None and snapshot[0] == key:
+            return snapshot[1]
+        with self._cache_lock:
+            snapshot = self._geometry_snapshot
+            if snapshot is not None and snapshot[0] == key:
+                return snapshot[1]
+            index = _GeometryIndex(self._graph)
+            self._geometry_snapshot = (key, index)
+            return index
 
     def _weighted_adjacency(self, weight="length"):
         """Plain-dict successor lists ``{u: [(v, w), ...]}``, cached.
@@ -372,15 +417,19 @@ class RoadNetwork:
         cached = self._adjacency_cache.get(weight)
         if cached is not None and cached[0] == key:
             return cached[1]
-        adjacency = {
-            node: [
-                (succ, float(data[weight]))
-                for succ, data in neighbors.items()
-            ]
-            for node, neighbors in self._graph._succ.items()
-        }
-        self._adjacency_cache[weight] = (key, adjacency)
-        return adjacency
+        with self._cache_lock:
+            cached = self._adjacency_cache.get(weight)
+            if cached is not None and cached[0] == key:
+                return cached[1]
+            adjacency = {
+                node: [
+                    (succ, float(data[weight]))
+                    for succ, data in neighbors.items()
+                ]
+                for node, neighbors in self._graph._succ.items()
+            }
+            self._adjacency_cache[weight] = (key, adjacency)
+            return adjacency
 
     def _indexed_adjacency(self, weight="length"):
         """Integer-indexed adjacency: ``(nodes, index_of, adjacency)``.
@@ -394,18 +443,22 @@ class RoadNetwork:
         cached = self._adjacency_cache.get(("indexed", weight))
         if cached is not None and cached[0] == key:
             return cached[1]
-        nodes = list(self._graph.nodes())
-        index_of = {node: i for i, node in enumerate(nodes)}
-        adjacency = [
-            [
-                (float(data[weight]), index_of[succ])
-                for succ, data in self._graph.adj[node].items()
+        with self._cache_lock:
+            cached = self._adjacency_cache.get(("indexed", weight))
+            if cached is not None and cached[0] == key:
+                return cached[1]
+            nodes = list(self._graph.nodes())
+            index_of = {node: i for i, node in enumerate(nodes)}
+            adjacency = [
+                [
+                    (float(data[weight]), index_of[succ])
+                    for succ, data in self._graph.adj[node].items()
+                ]
+                for node in nodes
             ]
-            for node in nodes
-        ]
-        snapshot = (nodes, index_of, adjacency)
-        self._adjacency_cache[("indexed", weight)] = (key, snapshot)
-        return snapshot
+            snapshot = (nodes, index_of, adjacency)
+            self._adjacency_cache[("indexed", weight)] = (key, snapshot)
+            return snapshot
 
     def node_index(self):
         """``(index_of, nodes)`` for array-based queries.
@@ -418,10 +471,16 @@ class RoadNetwork:
         return index_of, nodes
 
     def invalidate_geometry(self):
-        """Drop the cached spatial index (after in-place ``pos`` edits)."""
-        self._geometry_index = None
-        self._geometry_key = None
-        self._adjacency_cache = {}
+        """Drop the cached spatial index (after in-place ``pos`` edits).
+
+        Safe against in-flight readers: the snapshot holders are
+        *replaced* (never mutated), so a query that already picked up
+        the old snapshot finishes on a consistent — if momentarily
+        stale — view, and the next query rebuilds fresh.
+        """
+        with self._cache_lock:
+            self._geometry_snapshot = None
+            self._adjacency_cache = {}
 
     def edge_endpoints(self, u, v):
         """Coordinates of both endpoints as two ``(x, y)`` tuples."""

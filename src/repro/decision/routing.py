@@ -19,6 +19,7 @@ reliable paths, loose ones favour fast-on-average paths.
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -36,6 +37,14 @@ _UNCOVERED = object()
 
 class StochasticRouter:
     """Distribution-aware route selection.
+
+    **Thread-safety contract:** the query methods (:meth:`best_path`,
+    :meth:`route_many`, :meth:`on_time_route`, …) are safe to call
+    from many threads on one shared router; both serving memos and
+    their hit/miss counters are lock-guarded.  Distribution lookups
+    stay deterministic under concurrency as long as concurrent queries
+    for the same departure *window* use the same departure minute (the
+    memo caches the first caller's exact minute, as documented below).
 
     Parameters
     ----------
@@ -82,6 +91,7 @@ class StochasticRouter:
         self.memo_size = int(memo_size)
         self.memo_window_minutes = float(check_positive(
             memo_window_minutes, "memo_window_minutes"))
+        self._memo_lock = threading.RLock()
         self._path_memo = OrderedDict()
         self._distribution_memo = OrderedDict()
         self._memo_hits = 0
@@ -89,26 +99,47 @@ class StochasticRouter:
         self._published_hits = 0
         self._published_misses = 0
 
+    def __getstate__(self):
+        """Pickle without the lock or the warm memos (rebuilt lazily)."""
+        state = self.__dict__.copy()
+        state.pop("_memo_lock", None)
+        state["_path_memo"] = OrderedDict()
+        state["_distribution_memo"] = OrderedDict()
+        state["_memo_hits"] = state["_memo_misses"] = 0
+        state["_published_hits"] = state["_published_misses"] = 0
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._memo_lock = threading.RLock()
+
     # -- serving memos -----------------------------------------------------
+    #
+    # Probe / insert / evict and the hit/miss counters all run under
+    # the memo lock; the expensive work on a miss (Yen's algorithm,
+    # distribution fits) runs outside it, so concurrent misses on the
+    # same key may duplicate compute but never corrupt the memo.
 
     def _memo_get(self, memo, key):
         if self.memo_size == 0:
             return None
-        value = memo.get(key)
-        if value is not None:
-            memo.move_to_end(key)
-            self._memo_hits += 1
-        else:
-            self._memo_misses += 1
-        return value
+        with self._memo_lock:
+            value = memo.get(key)
+            if value is not None:
+                memo.move_to_end(key)
+                self._memo_hits += 1
+            else:
+                self._memo_misses += 1
+            return value
 
     def _memo_put(self, memo, key, value):
         if self.memo_size == 0:
             return
-        memo[key] = value
-        memo.move_to_end(key)
-        while len(memo) > self.memo_size:
-            memo.popitem(last=False)
+        with self._memo_lock:
+            memo[key] = value
+            memo.move_to_end(key)
+            while len(memo) > self.memo_size:
+                memo.popitem(last=False)
 
     def _publish_memo_metrics(self):
         """Flush memo hit/miss deltas to the global metrics registry.
@@ -120,10 +151,13 @@ class StochasticRouter:
         """
         from ..observability.metrics import get_registry
 
-        hits = self._memo_hits - self._published_hits
-        misses = self._memo_misses - self._published_misses
-        if not hits and not misses:
-            return
+        with self._memo_lock:
+            hits = self._memo_hits - self._published_hits
+            misses = self._memo_misses - self._published_misses
+            if not hits and not misses:
+                return
+            self._published_hits = self._memo_hits
+            self._published_misses = self._memo_misses
         counter = get_registry().counter(
             "decision.router_memo_lookups_total",
             "StochasticRouter serving-memo lookups by outcome")
@@ -131,29 +165,29 @@ class StochasticRouter:
             counter.inc(hits, outcome="hit")
         if misses:
             counter.inc(misses, outcome="miss")
-        self._published_hits = self._memo_hits
-        self._published_misses = self._memo_misses
 
     def cache_info(self):
         """Serving-memo observability: hits, misses and sizes."""
         self._publish_memo_metrics()
-        return {
-            "hits": self._memo_hits,
-            "misses": self._memo_misses,
-            "path_memo_size": len(self._path_memo),
-            "distribution_memo_size": len(self._distribution_memo),
-            "maxsize": self.memo_size,
-        }
+        with self._memo_lock:
+            return {
+                "hits": self._memo_hits,
+                "misses": self._memo_misses,
+                "path_memo_size": len(self._path_memo),
+                "distribution_memo_size": len(self._distribution_memo),
+                "maxsize": self.memo_size,
+            }
 
     def clear_cache(self):
         """Drop both memos (call after mutating network or cost model)."""
         self._publish_memo_metrics()
-        self._path_memo.clear()
-        self._distribution_memo.clear()
-        self._memo_hits = 0
-        self._memo_misses = 0
-        self._published_hits = 0
-        self._published_misses = 0
+        with self._memo_lock:
+            self._path_memo.clear()
+            self._distribution_memo.clear()
+            self._memo_hits = 0
+            self._memo_misses = 0
+            self._published_hits = 0
+            self._published_misses = 0
 
     def _path_distribution(self, path, departure_minute):
         """Content-keyed, departure-windowed distribution lookup.

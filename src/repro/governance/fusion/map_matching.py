@@ -30,6 +30,7 @@ across :meth:`HmmMapMatcher.match_many` batches.
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -42,6 +43,13 @@ __all__ = ["HmmMapMatcher"]
 
 class HmmMapMatcher:
     """Match GPS trajectories to road-network paths.
+
+    **Thread-safety contract:** :meth:`match`, :meth:`match_many`,
+    :meth:`matched_path`, :meth:`cache_info` and :meth:`clear_cache`
+    are safe to call from many threads on one shared matcher.  The
+    distance LRU is lock-guarded, and cached rows are masked down to
+    each request's cutoff, so results are byte-identical to a
+    single-threaded matcher regardless of interleaving.
 
     Parameters
     ----------
@@ -86,11 +94,25 @@ class HmmMapMatcher:
         )
         self.distance_cache_size = int(check_positive(
             distance_cache_size, "distance_cache_size"))
+        self._cache_lock = threading.RLock()
         self._distance_cache = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
         self._published_hits = 0
         self._published_misses = 0
+
+    def __getstate__(self):
+        """Pickle without the lock or the warm LRU (rebuilt lazily)."""
+        state = self.__dict__.copy()
+        state.pop("_cache_lock", None)
+        state["_distance_cache"] = OrderedDict()
+        state["_cache_hits"] = state["_cache_misses"] = 0
+        state["_published_hits"] = state["_published_misses"] = 0
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._cache_lock = threading.RLock()
 
     # -- internals -----------------------------------------------------------
 
@@ -100,22 +122,38 @@ class HmmMapMatcher:
         Returns the :meth:`RoadNetwork.dijkstra_array` row for ``node``
         (``inf`` beyond the cutoff / unreachable).  A cached result
         computed with a larger (or unbounded) cutoff serves any smaller
-        request; a larger request recomputes and replaces the entry.
+        request *masked down to that cutoff*, so the returned row is
+        byte-identical to a fresh bounded search no matter what the
+        cache happens to hold; a larger request recomputes and replaces
+        the entry.
+
+        Thread-safe: cache probes, LRU reordering, eviction and the
+        hit/miss counters all happen under the cache lock.  The Dijkstra
+        itself runs *outside* the lock — two threads missing on the same
+        node may duplicate that work, but the cache never corrupts and
+        the counters still account every lookup exactly once.
         """
-        entry = self._distance_cache.get(node)
-        if entry is not None:
-            cached_cutoff, distances = entry
-            if cached_cutoff is None or (
-                    cutoff is not None and cached_cutoff >= cutoff):
-                self._distance_cache.move_to_end(node)
-                self._cache_hits += 1
-                return distances
-        self._cache_misses += 1
+        with self._cache_lock:
+            entry = self._distance_cache.get(node)
+            if entry is not None:
+                cached_cutoff, distances = entry
+                if cached_cutoff is None or (
+                        cutoff is not None and cached_cutoff >= cutoff):
+                    self._distance_cache.move_to_end(node)
+                    self._cache_hits += 1
+                    if cutoff is not None and (
+                            cached_cutoff is None
+                            or cached_cutoff > cutoff):
+                        return np.where(distances <= cutoff,
+                                        distances, np.inf)
+                    return distances
+            self._cache_misses += 1
         distances = self.network.dijkstra_array(node, cutoff=cutoff)
-        self._distance_cache[node] = (cutoff, distances)
-        self._distance_cache.move_to_end(node)
-        while len(self._distance_cache) > self.distance_cache_size:
-            self._distance_cache.popitem(last=False)
+        with self._cache_lock:
+            self._distance_cache[node] = (cutoff, distances)
+            self._distance_cache.move_to_end(node)
+            while len(self._distance_cache) > self.distance_cache_size:
+                self._distance_cache.popitem(last=False)
         return distances
 
     def _cutoff_for(self, straight):
@@ -140,13 +178,21 @@ class HmmMapMatcher:
         Dijkstra hot loop never pays for a labeled counter; the
         ``fusion.distance_cache_lookups_total`` series therefore lags
         the in-flight trace by at most one flush.
+
+        The delta read and the published-watermark advance happen
+        atomically under the cache lock, so concurrent flushers never
+        double- or under-count a lookup; the (thread-safe) counter
+        increments run outside the lock.
         """
         from ...observability.metrics import get_registry
 
-        hits = self._cache_hits - self._published_hits
-        misses = self._cache_misses - self._published_misses
-        if not hits and not misses:
-            return
+        with self._cache_lock:
+            hits = self._cache_hits - self._published_hits
+            misses = self._cache_misses - self._published_misses
+            if not hits and not misses:
+                return
+            self._published_hits = self._cache_hits
+            self._published_misses = self._cache_misses
         counter = get_registry().counter(
             "fusion.distance_cache_lookups_total",
             "HmmMapMatcher distance-LRU lookups by outcome")
@@ -154,26 +200,26 @@ class HmmMapMatcher:
             counter.inc(hits, outcome="hit")
         if misses:
             counter.inc(misses, outcome="miss")
-        self._published_hits = self._cache_hits
-        self._published_misses = self._cache_misses
 
     def cache_info(self):
         """Distance-cache observability: hits, misses, size, maxsize."""
         self._publish_cache_metrics()
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "size": len(self._distance_cache),
-            "maxsize": self.distance_cache_size,
-        }
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "size": len(self._distance_cache),
+                "maxsize": self.distance_cache_size,
+            }
 
     def clear_cache(self):
         self._publish_cache_metrics()
-        self._distance_cache.clear()
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._published_hits = 0
-        self._published_misses = 0
+        with self._cache_lock:
+            self._distance_cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
+            self._published_hits = 0
+            self._published_misses = 0
 
     def _route_distance(self, candidate_a, candidate_b, cutoff=None):
         """Network distance between two on-edge positions."""

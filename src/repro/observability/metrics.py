@@ -222,6 +222,43 @@ class Histogram(_Metric):
         with self._lock:
             return sum(s["count"] for s in self._series.values())
 
+    def quantile(self, q, **labels):
+        """Estimated ``q``-quantile for one label set, from buckets.
+
+        Standard bucketed estimation (what dashboards compute from
+        exported histograms): find the bucket holding the target rank
+        and interpolate linearly inside it.  The tracked per-series
+        ``min`` / ``max`` clamp the first and last (``+inf``) buckets,
+        so the estimate never leaves the observed range.  Returns
+        ``None`` when the series has no samples.
+        """
+        q = float(q)
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or not series["count"]:
+                return None
+            counts = list(series["bucket_counts"])
+            low, high = series["min"], series["max"]
+            total = series["count"]
+        target = q * total
+        cumulative = 0
+        for i, count in enumerate(counts):
+            if not count:
+                continue
+            if cumulative + count >= target:
+                lower = 0.0 if i == 0 else self.buckets[i - 1]
+                upper = high if i == len(self.buckets) \
+                    else self.buckets[i]
+                lower = min(max(lower, low), upper)
+                upper = max(min(upper, high), lower)
+                fraction = (target - cumulative) / count
+                return lower + (upper - lower) * min(max(fraction,
+                                                         0.0), 1.0)
+            cumulative += count
+        return high
+
     def _snapshot_series(self):
         with self._lock:
             return [

@@ -1,0 +1,29 @@
+"""Serving layer: request batching, deadlines and admission control.
+
+The request-facing end of the Figure-1 paradigm — a long-lived
+embedded :class:`DecisionServer` that coalesces concurrent route /
+match / distance queries into the library's batch APIs, enforces
+per-request deadline budgets, and sheds load it cannot serve in time
+instead of queueing doomed work.  ``docs/SERVING.md`` is the guide.
+"""
+
+from .loadgen import LoadReport, closed_loop
+from .requests import (
+    DistanceQuery,
+    MatchQuery,
+    Overloaded,
+    RouteQuery,
+    ServeResult,
+)
+from .server import DecisionServer
+
+__all__ = [
+    "DecisionServer",
+    "DistanceQuery",
+    "LoadReport",
+    "MatchQuery",
+    "Overloaded",
+    "RouteQuery",
+    "ServeResult",
+    "closed_loop",
+]

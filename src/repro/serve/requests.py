@@ -1,0 +1,109 @@
+"""Typed requests and results for the serving layer.
+
+A :class:`DecisionServer` accepts three query kinds, mirroring the
+batch APIs the hot-path layer already exposes:
+
+* :class:`RouteQuery`  → coalesced into ``StochasticRouter.route_many``,
+* :class:`MatchQuery`  → coalesced into ``HmmMapMatcher.match_many``,
+* :class:`DistanceQuery` → deduplicated into
+  ``RoadNetwork.dijkstra_array`` calls.
+
+Every submission resolves to a :class:`ServeResult` (never an
+exception): ``outcome`` says what happened, ``value`` carries the
+answer for ``"ok"`` results, and the timing fields make per-request
+latency auditable.  Admission control resolves shed requests with the
+:class:`Overloaded` subtype *immediately* instead of queueing doomed
+work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "DistanceQuery",
+    "MatchQuery",
+    "Overloaded",
+    "RouteQuery",
+    "ServeResult",
+]
+
+
+@dataclass(frozen=True)
+class RouteQuery:
+    """One stochastic-routing request.
+
+    ``utility`` overrides the server's default utility for this
+    request; requests sharing a utility object batch together.
+    """
+
+    origin: Any
+    destination: Any
+    departure_minute: float = 0.0
+    utility: Any = None
+
+
+@dataclass(frozen=True)
+class MatchQuery:
+    """One map-matching request for a GPS :class:`Trajectory`."""
+
+    trajectory: Any
+
+
+@dataclass(frozen=True)
+class DistanceQuery:
+    """One single-source network-distance request.
+
+    Resolves to the :meth:`RoadNetwork.dijkstra_array` row for
+    ``source`` (bounded by ``cutoff`` when given).  Identical queries
+    in one batch share a single search; the returned array is shared —
+    treat it as read-only.
+    """
+
+    source: Any
+    cutoff: float | None = None
+
+
+@dataclass
+class ServeResult:
+    """What the server resolved a request to.
+
+    ``outcome`` is one of:
+
+    * ``"ok"`` — ``value`` holds the answer (``best_path`` triple /
+      ``None`` for uncovered routes, match candidate list, distance
+      row);
+    * ``"error"`` — the query itself failed; ``error`` holds the
+      exception (e.g. an off-map trajectory's ``ValueError``);
+    * ``"deadline_exceeded"`` — the per-request budget expired before
+      a result was produced; ``error`` holds a
+      :class:`RunDeadlineExceeded`;
+    * ``"overloaded"`` — shed at admission (see :class:`Overloaded`).
+    """
+
+    op: str = ""
+    outcome: str = "ok"
+    value: Any = None
+    error: BaseException | None = None
+    queue_seconds: float = 0.0
+    service_seconds: float = 0.0
+    batch_size: int = 0
+
+    @property
+    def ok(self):
+        return self.outcome == "ok"
+
+
+@dataclass
+class Overloaded(ServeResult):
+    """Typed load-shedding result, returned without queueing.
+
+    ``reason`` is ``"queue_full"`` (the bounded queue is at capacity)
+    or ``"doomed"`` (deadline-aware shedding: the estimated queue wait
+    already exceeds the request's deadline budget, so queueing it
+    would only waste service time on a result nobody can use).
+    """
+
+    outcome: str = field(default="overloaded")
+    reason: str = "queue_full"

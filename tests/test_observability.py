@@ -101,6 +101,51 @@ class TestMetricsRegistry:
         with pytest.raises(ValueError):
             registry.histogram("h2", "h2", buckets=())
 
+    def test_histogram_quantile_interpolates_within_bucket(self):
+        histogram = MetricsRegistry().histogram(
+            "q", "q", buckets=(1.0, 2.0, 4.0))
+        # 10 samples spread uniformly in (1, 2]: the median rank
+        # lands mid-bucket, so interpolation gives the bucket middle.
+        for i in range(10):
+            histogram.observe(1.05 + i * 0.1)
+        assert histogram.quantile(0.5) == pytest.approx(1.5, abs=0.11)
+        # p0 / p100 stay inside the observed range (min/max clamping).
+        assert histogram.quantile(0.0) >= 1.0
+        assert histogram.quantile(1.0) <= 2.0
+
+    def test_histogram_quantile_clamps_overflow_bucket(self):
+        histogram = MetricsRegistry().histogram(
+            "q", "q", buckets=(1.0,))
+        histogram.observe(5.0)
+        histogram.observe(7.0)
+        # Both samples overflow the last bound; without the tracked
+        # max the +inf bucket would be unanswerable.
+        assert 5.0 <= histogram.quantile(0.99) <= 7.0
+
+    def test_histogram_quantile_edge_cases(self):
+        histogram = MetricsRegistry().histogram(
+            "q", "q", buckets=(1.0, 2.0))
+        assert histogram.quantile(0.5) is None  # no samples yet
+        histogram.observe(1.5, op="route")
+        assert histogram.quantile(0.5) is None  # unlabeled series
+        assert histogram.quantile(0.5, op="route") == \
+            pytest.approx(1.5, abs=0.51)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+    def test_histogram_quantile_is_monotone_in_q(self):
+        histogram = MetricsRegistry().histogram("q", "q")
+        rng_values = [0.003, 0.02, 0.09, 0.4, 1.7, 6.0, 0.01, 0.25]
+        for value in rng_values:
+            histogram.observe(value)
+        quantiles = [histogram.quantile(q)
+                     for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert quantiles == sorted(quantiles)
+        assert min(rng_values) <= quantiles[0]
+        assert quantiles[-1] <= max(rng_values)
+
     def test_default_buckets_are_increasing(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
 
