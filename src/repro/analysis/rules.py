@@ -412,6 +412,50 @@ def check_unpicklable_stage_function(stage, pipeline, module):
                 stage=stage.name)
 
 
+_DOMINANCE_NAMES = ("dominance_prune", "select_best")
+_REDUCTION_KEYWORDS = ("reduce_to", "reduction")
+
+
+@register_rule(
+    "RC023", name="unreduced-dominance-call", severity=WARNING,
+    scope="stage",
+    summary="dominance_prune/select_best inside a pipeline stage "
+            "without reduce_to=/reduction= runs O(N²) over the full "
+            "ensemble on every stage execution")
+def check_unreduced_dominance(stage, pipeline, module):
+    """Pipeline stages re-execute per run over production-sized
+    ensembles, so an unreduced dominance call there is the exact
+    O(N²·|grid|) hot path scenario reduction exists to avoid.
+    Interactive / notebook calls are out of scope — only functions
+    wired into a pipeline stage are checked.  Suppress deliberate
+    full-ensemble passes with ``# noqa: RC023``.
+    """
+    for fx in stage.effect_sets():
+        node = module.functions.get(fx.name)
+        if node is None:
+            continue
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            name = (func.id if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute)
+                    else None)
+            if name not in _DOMINANCE_NAMES:
+                continue
+            if any(kw.arg in _REDUCTION_KEYWORDS
+                   for kw in call.keywords):
+                continue
+            yield finding_at(
+                module, "RC023", call.lineno,
+                f"stage {stage.name!r} calls {name}() without "
+                "reduce_to=/reduction=: every stage execution pays "
+                "O(N²) dominance over the full scenario ensemble; "
+                "reduce to k representatives (or mark a deliberate "
+                "full pass with `# noqa: RC023`)",
+                stage=stage.name)
+
+
 @register_rule(
     "RC021", name="unbounded-dijkstra-all", severity=WARNING,
     scope="module",

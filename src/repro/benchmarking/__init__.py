@@ -1,6 +1,13 @@
-"""Unified, fair benchmarking of analytics methods (FoundTS-style)."""
+"""Unified, fair benchmarking of analytics methods (FoundTS-style)
+plus the shared latency-summary harness used by serving benchmarks."""
 
 from .detection import DetectionLeaderboard
 from .harness import ForecastingLeaderboard
+from .latency import LatencySummary, summarize_latencies
 
-__all__ = ["DetectionLeaderboard", "ForecastingLeaderboard"]
+__all__ = [
+    "DetectionLeaderboard",
+    "ForecastingLeaderboard",
+    "LatencySummary",
+    "summarize_latencies",
+]

@@ -11,8 +11,23 @@ from .maintenance import (
     degradation_process,
     simulate_maintenance,
 )
-from .pareto import SkylineRouter, dominates, pareto_front, scalarize
+from .pareto import (
+    SkylineRouter,
+    dominates,
+    pareto_front,
+    scalarize,
+    stochastic_pareto_front,
+)
 from .preference import ContextualPreferenceModel
+from .reduction import (
+    Reduction,
+    dtw_band_matrix,
+    fan_chart,
+    rank_plot,
+    reduce_scenarios,
+    wasserstein_distance,
+    wasserstein_matrix,
+)
 from .routing import StochasticRouter
 from .scheduling import (
     FixedScaler,
@@ -47,6 +62,7 @@ __all__ = [
     "PredictivePolicy",
     "PredictiveScaler",
     "ReactiveScaler",
+    "Reduction",
     "RiskAverseUtility",
     "RiskNeutralUtility",
     "RiskSeekingUtility",
@@ -58,12 +74,19 @@ __all__ = [
     "degradation_process",
     "dominance_prune",
     "dominates",
+    "dtw_band_matrix",
     "expected_utility",
+    "fan_chart",
     "first_order_dominates",
     "pareto_front",
+    "rank_plot",
+    "reduce_scenarios",
     "scalarize",
     "second_order_dominates",
     "select_best",
     "simulate_maintenance",
     "simulate_scaling",
+    "stochastic_pareto_front",
+    "wasserstein_distance",
+    "wasserstein_matrix",
 ]

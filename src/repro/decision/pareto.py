@@ -7,6 +7,10 @@ into a single unified objective via a preference function [54]."
 
 * :func:`pareto_front` — the non-dominated subset of arbitrary cost
   vectors;
+* :func:`stochastic_pareto_front` — the same idea for options whose
+  per-objective costs are *distributions*: FSD across every objective
+  on shared union-support grids, optionally over a W1-reduced option
+  ensemble;
 * :class:`SkylineRouter` — route skylines [15]: a label-correcting
   search over a road network with *vector* edge costs, where a node
   keeps only Pareto-optimal partial labels; the result is every
@@ -21,8 +25,15 @@ import numpy as np
 
 from .._validation import check_positive, check_probability_vector
 from ..datatypes import RoadNetwork
+from ..governance.uncertainty import Histogram
 
-__all__ = ["pareto_front", "dominates", "SkylineRouter", "scalarize"]
+__all__ = [
+    "pareto_front",
+    "dominates",
+    "SkylineRouter",
+    "scalarize",
+    "stochastic_pareto_front",
+]
 
 
 def dominates(first, second, *, tol=1e-12):
@@ -58,6 +69,70 @@ def pareto_front(costs):
         if not dominated:
             survivors.append(index)
     return survivors
+
+
+def stochastic_pareto_front(options, *, tol=1e-9, reduce_to=None):
+    """Indices of stochastically non-dominated multi-objective options.
+
+    ``options[i]`` is a tuple of cost :class:`Histogram` distributions,
+    one per objective.  Option A dominates option B when A is weakly
+    FSD-better (``CDF_A >= CDF_B`` everywhere, as costs) in *every*
+    objective and strictly better in at least one — the distributional
+    generalization of :func:`dominates`.  Each objective's verdicts are
+    decided exactly on one shared union-support grid, so the whole
+    front costs one CDF matrix per objective instead of n²·m pairwise
+    dominance calls.
+
+    With ``reduce_to=k``, the option ensemble is first compressed by
+    W1 forward selection under the *summed* per-objective Wasserstein
+    distance (see :func:`repro.decision.reduction.reduce_scenarios`),
+    and every CDF matrix is built over the k representatives' reduced
+    support grids only; the returned indices are then drawn from the
+    representatives.
+    """
+    options = [tuple(option) for option in options]
+    if not options:
+        return []
+    n_objectives = len(options[0])
+    if n_objectives == 0:
+        raise ValueError("options need at least one objective")
+    for option in options:
+        if len(option) != n_objectives:
+            raise ValueError(
+                "every option needs the same number of objectives")
+        for distribution in option:
+            if not isinstance(distribution, Histogram):
+                raise TypeError("objective costs must be Histograms")
+
+    original = np.arange(len(options))
+    if reduce_to is not None and reduce_to < len(options):
+        from .reduction import reduce_scenarios, wasserstein_matrix
+
+        combined = sum(
+            wasserstein_matrix([option[j] for option in options])
+            for j in range(n_objectives)
+        )
+        reduction = reduce_scenarios(options, reduce_to,
+                                     distance_matrix=combined)
+        original = reduction.indices
+        options = [options[int(i)] for i in original]
+
+    n = len(options)
+    weak = np.ones((n, n), dtype=bool)
+    strict = np.zeros((n, n), dtype=bool)
+    for j in range(n_objectives):
+        members = [option[j] for option in options]
+        grid = np.unique(np.concatenate([m.support for m in members]))
+        cdf = np.vstack([m.cdf(grid) for m in members])
+        diff = cdf[:, None, :] - cdf[None, :, :]
+        weak &= (diff >= -tol).all(axis=2)
+        strict |= (diff > tol).any(axis=2)
+    dominated = (weak & strict)
+    np.fill_diagonal(dominated, False)
+    survivors = np.flatnonzero(~dominated.any(axis=0))
+    if len(survivors) == 0:  # all mutually dominated within tolerance
+        survivors = np.arange(n)
+    return [int(original[s]) for s in survivors]
 
 
 def scalarize(costs, weights):

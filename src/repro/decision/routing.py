@@ -26,7 +26,7 @@ import numpy as np
 
 from .._validation import check_positive
 from ..datatypes import RoadNetwork
-from .stochastic import dominance_prune
+from .stochastic import select_best
 from .utility import DeadlineUtility, UtilityFunction
 
 __all__ = ["StochasticRouter"]
@@ -70,11 +70,22 @@ class StochasticRouter:
         memo: queries for the same path whose departures fall in the
         same window share one cached distribution (computed at the
         first query's exact departure minute).
+    reduction:
+        Compress each query's candidate ensemble to at most this many
+        W1-representative members before dominance pruning and utility
+        selection (``None`` disables).  The
+        :class:`~repro.decision.reduction.Reduction` is memoized per
+        ``(origin, destination, departure-window)`` alongside the
+        other serving memos, so sustained traffic pays the O(N²)
+        reduction once per key and every subsequent query runs over
+        k ≪ N; the winning representative's cluster is re-evaluated
+        under the utility (see :func:`repro.decision.select_best`), so
+        the returned path still ranges over the full candidate pool.
     """
 
     def __init__(self, network, cost_model, *, n_candidates=8,
                  weight="length", memo_size=1024,
-                 memo_window_minutes=5.0):
+                 memo_window_minutes=5.0, reduction=None):
         if not isinstance(network, RoadNetwork):
             raise TypeError("network must be a RoadNetwork")
         if not hasattr(cost_model, "path_distribution"):
@@ -91,9 +102,13 @@ class StochasticRouter:
         self.memo_size = int(memo_size)
         self.memo_window_minutes = float(check_positive(
             memo_window_minutes, "memo_window_minutes"))
+        self.reduction = (None if reduction is None
+                          else int(check_positive(reduction,
+                                                  "reduction")))
         self._memo_lock = threading.RLock()
         self._path_memo = OrderedDict()
         self._distribution_memo = OrderedDict()
+        self._reduction_memo = OrderedDict()
         self._memo_hits = 0
         self._memo_misses = 0
         self._published_hits = 0
@@ -105,6 +120,7 @@ class StochasticRouter:
         state.pop("_memo_lock", None)
         state["_path_memo"] = OrderedDict()
         state["_distribution_memo"] = OrderedDict()
+        state["_reduction_memo"] = OrderedDict()
         state["_memo_hits"] = state["_memo_misses"] = 0
         state["_published_hits"] = state["_published_misses"] = 0
         return state
@@ -175,15 +191,17 @@ class StochasticRouter:
                 "misses": self._memo_misses,
                 "path_memo_size": len(self._path_memo),
                 "distribution_memo_size": len(self._distribution_memo),
+                "reduction_memo_size": len(self._reduction_memo),
                 "maxsize": self.memo_size,
             }
 
     def clear_cache(self):
-        """Drop both memos (call after mutating network or cost model)."""
+        """Drop the memos (call after mutating network or cost model)."""
         self._publish_memo_metrics()
         with self._memo_lock:
             self._path_memo.clear()
             self._distribution_memo.clear()
+            self._reduction_memo.clear()
             self._memo_hits = 0
             self._memo_misses = 0
             self._published_hits = 0
@@ -248,23 +266,54 @@ class StochasticRouter:
             )
         return paths, distributions
 
+    def _ensemble_reduction(self, origin, destination,
+                            departure_minute, distributions):
+        """The memoized candidate-ensemble reduction for this query.
+
+        Returns ``None`` when reduction is disabled or would not
+        shrink the ensemble.  Keyed like the distribution memo —
+        ``(origin, destination, departure-window)`` — so repeated
+        traffic reuses one reduction per key; the expensive W1 forward
+        selection runs outside the memo lock (concurrent misses may
+        duplicate compute but never corrupt the memo).  A cached
+        reduction whose input size no longer matches the live
+        candidate pool (possible after memo eviction races) is
+        recomputed rather than trusted.
+        """
+        if not self.reduction or len(distributions) <= self.reduction:
+            return None
+        window = int(math.floor(
+            float(departure_minute) / self.memo_window_minutes))
+        key = (origin, destination, window)
+        cached = self._memo_get(self._reduction_memo, key)
+        if cached is not None and cached.n_input == len(distributions):
+            return cached
+        from .reduction import reduce_scenarios
+
+        reduction = reduce_scenarios(distributions, self.reduction)
+        self._memo_put(self._reduction_memo, key, reduction)
+        return reduction
+
     def best_path(self, origin, destination, utility, *,
                   departure_minute=0.0, prune=True):
         """The expected-utility-optimal path.
 
-        Returns ``(path, distribution, expected_utility)``.
+        Returns ``(path, distribution, expected_utility)``.  When the
+        router was built with ``reduction=k``, pruning and the utility
+        sweep run over the memoized k-representative ensemble (plus
+        the winning cluster's refinement pass) instead of the full
+        candidate pool.
         """
         if not isinstance(utility, UtilityFunction):
             raise TypeError("utility must be a UtilityFunction")
         paths, distributions = self.candidate_distributions(
             origin, destination, departure_minute)
-        indices = (dominance_prune(distributions) if prune
-                   else range(len(paths)))
-        best = max(indices,
-                   key=lambda i: utility.expected(distributions[i]))
+        reduction = self._ensemble_reduction(
+            origin, destination, departure_minute, distributions)
+        best, value, _ = select_best(distributions, utility,
+                                     prune=prune, reduction=reduction)
         self._publish_memo_metrics()
-        return paths[best], distributions[best], \
-            utility.expected(distributions[best])
+        return paths[best], distributions[best], value
 
     def route_many(self, queries, utility, *, prune=True):
         """Batch serving: answer ``(origin, destination, departure)``

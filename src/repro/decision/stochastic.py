@@ -15,6 +15,15 @@ utility functions that encode different risk profiles".  The mechanism:
 under *any* compatible utility provably survives, so expensive
 expected-utility evaluation only runs on the (typically small) surviving
 set.  That is exactly the speedup experiment E18 measures.
+
+Both entry points additionally accept ``reduce_to=k`` / ``reduction=``:
+the candidate ensemble is first compressed to k ≪ N representatives via
+:func:`repro.decision.reduction.reduce_scenarios` (exact-W1 forward
+selection), dominance runs over the representatives only, and
+:func:`select_best` re-evaluates the winning representative's assigned
+cluster so the returned index is drawn from the *full* candidate set
+(zero regret whenever the true optimum is W1-closest to the winning
+representative — gated end-to-end by BENCH_e29).
 """
 
 from __future__ import annotations
@@ -197,7 +206,30 @@ def _dominated_mask_ssd(candidates, tol):
     return dominated
 
 
-def dominance_prune(candidates, *, order=1, tol=1e-9):
+def _resolve_reduction(candidates, reduce_to, reduction):
+    """The :class:`~repro.decision.reduction.Reduction` to prune
+    through, or ``None`` when the full ensemble should be used.
+
+    ``reduction=`` takes a precomputed (possibly memoized) reduction of
+    exactly these candidates; ``reduce_to=k`` computes a fresh exact-W1
+    forward selection here.  A reduction that would not shrink the
+    ensemble is skipped entirely.
+    """
+    if reduction is not None:
+        if reduction.n_input != len(candidates):
+            raise ValueError(
+                f"reduction was built for {reduction.n_input} "
+                f"scenarios, got {len(candidates)} candidates")
+        return reduction if reduction.n_reduced < len(candidates) else None
+    if reduce_to is None or reduce_to >= len(candidates):
+        return None
+    from .reduction import reduce_scenarios
+
+    return reduce_scenarios(candidates, reduce_to)
+
+
+def dominance_prune(candidates, *, order=1, tol=1e-9, reduce_to=None,
+                    reduction=None):
     """Indices of candidates not dominated by any other candidate.
 
     All k² dominance relations are decided by one matrix kernel on a
@@ -215,6 +247,15 @@ def dominance_prune(candidates, *, order=1, tol=1e-9):
         all risk-averse utilities; prunes more).
     tol:
         Comparison tolerance forwarded to the dominance criteria.
+    reduce_to:
+        Compress the ensemble to this many W1-representative members
+        first (see :func:`repro.decision.reduction.reduce_scenarios`);
+        dominance then runs over k instead of N candidates and the
+        returned indices are drawn from the representatives.
+    reduction:
+        A precomputed :class:`~repro.decision.reduction.Reduction` of
+        exactly these candidates, for callers that amortize the
+        reduction across queries (overrides ``reduce_to``).
 
     Returns
     -------
@@ -229,6 +270,16 @@ def dominance_prune(candidates, *, order=1, tol=1e-9):
             raise TypeError("candidates must be Histograms")
     if not candidates:
         return []
+    chosen = _resolve_reduction(candidates, reduce_to, reduction)
+    if chosen is not None:
+        pool = [candidates[int(i)] for i in chosen.indices]
+        dominated = (_dominated_mask_fsd(pool, tol) if order == 1
+                     else _dominated_mask_ssd(pool, tol))
+        survivors = [int(chosen.indices[p])
+                     for p in np.flatnonzero(~dominated)]
+        if not survivors:
+            survivors = [int(i) for i in chosen.indices]
+        return survivors
     dominated = (_dominated_mask_fsd(candidates, tol) if order == 1
                  else _dominated_mask_ssd(candidates, tol))
     survivors = [int(i) for i in np.flatnonzero(~dominated)]
@@ -261,23 +312,50 @@ def _dominance_prune_pairwise(candidates, *, order=1, tol=1e-9):
     return survivors
 
 
-def select_best(candidates, utility, *, prune=True, order=1):
+def select_best(candidates, utility, *, prune=True, order=1,
+                reduce_to=None, reduction=None, refine=True):
     """The expected-utility-optimal candidate, optionally after pruning.
 
     Returns ``(best_index, best_utility, n_evaluated)`` —
     ``n_evaluated`` exposes the work saved by pruning for the E18
-    benchmark.
+    benchmark (with reduction: utility evaluations actually performed,
+    including the refinement pass).
+
+    With ``reduce_to=k`` / ``reduction=``, pruning and the utility
+    sweep run over the k W1-representatives only; the winning
+    representative's assigned cluster (``Reduction.members``) is then
+    re-evaluated under the utility (``refine=True``, the default), so
+    the returned index ranges over the *full* candidate set at a cost
+    of roughly ``k + N/k`` evaluations instead of N.
     """
     if not isinstance(utility, UtilityFunction):
         raise TypeError("utility must be a UtilityFunction")
     candidates = list(candidates)
     if not candidates:
         raise ValueError("candidates must not be empty")
-    indices = (dominance_prune(candidates, order=order) if prune
-               else list(range(len(candidates))))
+    chosen = _resolve_reduction(candidates, reduce_to, reduction)
+    if chosen is None:
+        indices = (dominance_prune(candidates, order=order) if prune
+                   else list(range(len(candidates))))
+    elif prune:
+        indices = dominance_prune(candidates, order=order,
+                                  reduction=chosen)
+    else:
+        indices = [int(i) for i in chosen.indices]
     best_index, best_value = None, -np.inf
     for index in indices:
         value = utility.expected(candidates[index])
         if value > best_value:
             best_index, best_value = index, value
-    return best_index, best_value, len(indices)
+    n_evaluated = len(indices)
+    if chosen is not None and refine:
+        position = int(np.flatnonzero(
+            chosen.indices == best_index)[0])
+        for index in chosen.members(position):
+            if index == best_index:
+                continue
+            value = utility.expected(candidates[index])
+            n_evaluated += 1
+            if value > best_value:
+                best_index, best_value = index, value
+    return best_index, best_value, n_evaluated

@@ -136,6 +136,27 @@ class Histogram:
         index = int(np.flatnonzero(self.probabilities > 0)[-1])
         return float(self.support[index])
 
+    def atoms(self):
+        """``(values, probabilities)`` of the positive-mass bins only.
+
+        The CDF is a step function jumping exactly at these values, so
+        exact step-function computations (Wasserstein integrals,
+        dominance grids) need nothing else — zero-mass padding bins
+        carry no information.
+        """
+        mask = self.probabilities > 0
+        return self.support[mask], self.probabilities[mask]
+
+    def trimmed(self):
+        """This distribution with leading/trailing zero-mass bins
+        dropped (interior zeros stay: the grid must remain regular)."""
+        positive = np.flatnonzero(self.probabilities > 0)
+        first, last = int(positive[0]), int(positive[-1])
+        if first == 0 and last == len(self.probabilities) - 1:
+            return self
+        return Histogram(self.start + first * self.width, self.width,
+                         self.probabilities[first:last + 1])
+
     # -- probability queries ---------------------------------------------------
 
     def cdf(self, x):

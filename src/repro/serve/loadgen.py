@@ -8,10 +8,11 @@ fold every response into a :class:`LoadReport` with sustained qps,
 client-observed latency percentiles and the shed rate.
 
 Latency percentiles here are computed from the *raw* client-side
-samples, so they are exact; the server's own
-``serve.latency_seconds`` histogram yields the same shape through
-:meth:`Histogram.quantile` bucket estimation, which the benchmark
-cross-checks.
+samples through the shared
+:func:`repro.benchmarking.summarize_latencies` harness, so they are
+exact; the server's own ``serve.latency_seconds`` histogram yields
+the same shape through :meth:`Histogram.quantile` bucket estimation,
+which the benchmark cross-checks.
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
+from ..benchmarking.latency import summarize_latencies
 
 __all__ = ["LoadReport", "closed_loop"]
 
@@ -132,10 +133,9 @@ def closed_loop(server, make_query, *, n_clients=8, duration=1.0,
     shed = outcomes.get("overloaded", 0)
     report.qps = ok / wall if wall > 0 else 0.0
     report.shed_rate = shed / submitted[0] if submitted[0] else 0.0
-    if latencies:
-        samples = np.asarray(latencies)
-        report.latency_p50 = float(np.percentile(samples, 50))
-        report.latency_p99 = float(np.percentile(samples, 99))
-        report.latency_mean = float(samples.mean())
-        report.latency_max = float(samples.max())
+    summary = summarize_latencies(latencies)
+    report.latency_p50 = summary.p50
+    report.latency_p99 = summary.p99
+    report.latency_mean = summary.mean
+    report.latency_max = summary.max
     return report

@@ -36,12 +36,16 @@ class RouteQuery:
 
     ``utility`` overrides the server's default utility for this
     request; requests sharing a utility object batch together.
+    ``priority`` (higher = more important) decides who gets shed when
+    the queue is full: an arriving request may evict a queued
+    lower-priority one instead of being dropped itself.
     """
 
     origin: Any
     destination: Any
     departure_minute: float = 0.0
     utility: Any = None
+    priority: int = 0
 
 
 @dataclass(frozen=True)
@@ -49,6 +53,7 @@ class MatchQuery:
     """One map-matching request for a GPS :class:`Trajectory`."""
 
     trajectory: Any
+    priority: int = 0
 
 
 @dataclass(frozen=True)
@@ -63,6 +68,7 @@ class DistanceQuery:
 
     source: Any
     cutoff: float | None = None
+    priority: int = 0
 
 
 @dataclass
@@ -99,8 +105,10 @@ class ServeResult:
 class Overloaded(ServeResult):
     """Typed load-shedding result, returned without queueing.
 
-    ``reason`` is ``"queue_full"`` (the bounded queue is at capacity)
-    or ``"doomed"`` (deadline-aware shedding: the estimated queue wait
+    ``reason`` is ``"queue_full"`` (the bounded queue is at capacity
+    and nothing queued has lower priority), ``"shed_priority"`` (this
+    queued request was evicted to admit a higher-priority arrival), or
+    ``"doomed"`` (deadline-aware shedding: the estimated queue wait
     already exceeds the request's deadline budget, so queueing it
     would only waste service time on a result nobody can use).
     """

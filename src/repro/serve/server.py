@@ -14,11 +14,14 @@ end of the paper's Figure-1 paradigm:
   ``dijkstra_array`` search per distinct source — so a burst of k
   identical queries costs one computation, not k;
 * **admission control** keeps the server responsive under overload:
-  the request queue is bounded (a full queue sheds immediately with
-  :class:`Overloaded(reason="queue_full")`), and requests whose
-  ``deadline=`` budget is already smaller than the estimated queue
-  wait are shed up front with ``reason="doomed"`` instead of
-  queueing work whose answer nobody can use;
+  the request queue is bounded, and when it is full the *lowest
+  priority loses* — an arriving request evicts the lowest-priority
+  queued request (``Overloaded(reason="shed_priority")``) when it
+  outranks one, and is otherwise shed itself
+  (``reason="queue_full"``); requests whose ``deadline=`` budget is
+  already smaller than the estimated queue wait are shed up front
+  with ``reason="doomed"`` instead of queueing work whose answer
+  nobody can use;
 * per-request ``deadline=`` budgets map to the run-deadline machinery
   of the engine: a request that expires while queued (or whose batch
   finishes too late) resolves as ``"deadline_exceeded"`` carrying a
@@ -41,6 +44,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any
@@ -76,10 +80,86 @@ class _Pending:
     enqueued_at: float
     deadline_at: float | None
     utility: Any = None
+    priority: int = 0
     dispatched_at: float = field(default=0.0)
 
     def expired(self, now):
         return self.deadline_at is not None and now > self.deadline_at
+
+
+class _RequestQueue:
+    """Bounded FIFO with priority-aware eviction at capacity.
+
+    Dispatch order stays strictly FIFO (priorities do not jump the
+    line — batching equivalence depends on arrival order), but when
+    the queue is full :meth:`offer` evicts the lowest-priority queued
+    request if the arrival outranks it, so under overload the lowest
+    priorities are shed first.  Mirrors the :class:`queue.Queue`
+    surface the dispatcher uses (``get(timeout=)`` / ``get_nowait``
+    raising :class:`queue.Empty`, unbounded :meth:`put` for the stop
+    sentinel).
+    """
+
+    def __init__(self, maxsize):
+        self.maxsize = int(maxsize)
+        self._items = deque()
+        self._not_empty = threading.Condition(threading.Lock())
+
+    def qsize(self):
+        with self._not_empty:
+            return len(self._items)
+
+    def put(self, item):
+        """Unbounded append (the ``_STOP`` sentinel only)."""
+        with self._not_empty:
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def offer(self, pending):
+        """Admit ``pending`` if there is room or something outranked.
+
+        Returns ``(admitted, evicted)``: ``(True, None)`` for a plain
+        append, ``(True, victim)`` when the lowest-priority queued
+        request was evicted to make room (the caller must resolve the
+        victim as shed), ``(False, None)`` when the queue is full of
+        equal-or-higher priorities.
+        """
+        with self._not_empty:
+            if len(self._items) < self.maxsize:
+                self._items.append(pending)
+                self._not_empty.notify()
+                return True, None
+            victim_index = None
+            for index, item in enumerate(self._items):
+                if item is _STOP:
+                    continue
+                # <= keeps the *latest* of the equally lowest queued,
+                # so earlier same-priority arrivals keep their place.
+                if victim_index is None or \
+                        item.priority <= self._items[victim_index].priority:
+                    victim_index = index
+            if victim_index is None or \
+                    self._items[victim_index].priority >= pending.priority:
+                return False, None
+            victim = self._items[victim_index]
+            del self._items[victim_index]
+            self._items.append(pending)
+            self._not_empty.notify()
+            return True, victim
+
+    def get(self, timeout=None):
+        with self._not_empty:
+            if not self._items:
+                self._not_empty.wait(timeout)
+            if not self._items:
+                raise queue.Empty
+            return self._items.popleft()
+
+    def get_nowait(self):
+        with self._not_empty:
+            if not self._items:
+                raise queue.Empty
+            return self._items.popleft()
 
 
 class DecisionServer:
@@ -141,7 +221,7 @@ class DecisionServer:
         self.prune = bool(prune)
         self.shed_doomed = bool(shed_doomed)
 
-        self._queue = queue.Queue(maxsize=self.max_queue)
+        self._queue = _RequestQueue(self.max_queue)
         self._closed = False
         self._state_lock = threading.Lock()
         self._outcome_counts = {}
@@ -176,6 +256,7 @@ class DecisionServer:
             deadline_at=None if deadline is None
             else now + float(deadline),
             utility=getattr(query, "utility", None) or self.utility,
+            priority=int(getattr(query, "priority", 0)),
         )
         if deadline is not None and self.shed_doomed:
             estimated_wait = self._queue.qsize() * self._ewma_service
@@ -183,32 +264,35 @@ class DecisionServer:
                 self._resolve(pending, Overloaded(
                     op=op, reason="doomed"), now)
                 return future
-        try:
-            self._queue.put_nowait(pending)
-        except queue.Full:
+        admitted, evicted = self._queue.offer(pending)
+        if not admitted:
             self._resolve(pending, Overloaded(
                 op=op, reason="queue_full"), now)
             return future
+        if evicted is not None:
+            self._resolve(evicted, Overloaded(
+                op=evicted.op, reason="shed_priority"), now)
         with self._state_lock:
             self._submitted += 1
         self._gauge("serve.queue_depth").set(self._queue.qsize())
         return future
 
     def route(self, origin, destination, *, departure_minute=0.0,
-              utility=None, deadline=None):
+              utility=None, deadline=None, priority=0):
         """Blocking :class:`RouteQuery` convenience."""
         return self.submit(
             RouteQuery(origin, destination, departure_minute,
-                       utility), deadline=deadline).result()
+                       utility, priority), deadline=deadline).result()
 
-    def match(self, trajectory, *, deadline=None):
+    def match(self, trajectory, *, deadline=None, priority=0):
         """Blocking :class:`MatchQuery` convenience."""
-        return self.submit(MatchQuery(trajectory),
+        return self.submit(MatchQuery(trajectory, priority),
                            deadline=deadline).result()
 
-    def distances(self, source, *, cutoff=None, deadline=None):
+    def distances(self, source, *, cutoff=None, deadline=None,
+                  priority=0):
         """Blocking :class:`DistanceQuery` convenience."""
-        return self.submit(DistanceQuery(source, cutoff),
+        return self.submit(DistanceQuery(source, cutoff, priority),
                            deadline=deadline).result()
 
     def stats(self):

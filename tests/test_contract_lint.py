@@ -596,6 +596,92 @@ p.add_data("w", work, reads=(), writes=("out",))
         assert "RC022" in {rule.code for rule in all_rules()}
 
 
+# -- RC023 unreduced dominance call ------------------------------------------
+
+
+class TestUnreducedDominanceCall:
+    def test_bare_call_in_stage(self):
+        src = PRELUDE + """
+from repro.decision import dominance_prune
+
+def decide(state):
+    state["survivors"] = dominance_prune(state["ensemble"])  # MARK
+
+p = DecisionPipeline()
+p.add_decision("d", decide, reads=("ensemble",),
+               writes=("survivors",))
+"""
+        findings = only(analyze_source(src), "RC023")
+        assert [f.line for f in findings] == [line_of(src, "# MARK")]
+        assert findings[0].severity == "warning"
+        assert findings[0].stage == "d"
+        assert "reduce_to=" in findings[0].message
+
+    def test_select_best_attribute_call(self):
+        src = PRELUDE + """
+import repro.decision as decision
+
+def decide(state):
+    state["best"] = decision.select_best(  # MARK
+        state["ensemble"], state["utility"])
+
+p = DecisionPipeline()
+p.add_decision("d", decide, reads=("ensemble", "utility"),
+               writes=("best",))
+"""
+        findings = only(analyze_source(src), "RC023")
+        assert [f.line for f in findings] == [line_of(src, "# MARK")]
+        assert "select_best" in findings[0].message
+
+    def test_reduce_to_is_clean(self):
+        src = PRELUDE + """
+from repro.decision import dominance_prune, select_best
+
+def decide(state):
+    state["survivors"] = dominance_prune(state["ensemble"],
+                                         reduce_to=50)
+    state["best"] = select_best(state["ensemble"], state["utility"],
+                                reduction=state["reduction"])
+
+p = DecisionPipeline()
+p.add_decision("d", decide,
+               reads=("ensemble", "utility", "reduction"),
+               writes=("survivors", "best"))
+"""
+        assert only(analyze_source(src), "RC023") == []
+
+    def test_noqa_suppresses(self):
+        src = PRELUDE + """
+from repro.decision import dominance_prune
+
+def decide(state):
+    state["survivors"] = dominance_prune(state["ensemble"])  # noqa: RC023
+
+p = DecisionPipeline()
+p.add_decision("d", decide, reads=("ensemble",),
+               writes=("survivors",))
+"""
+        assert only(analyze_source(src), "RC023") == []
+
+    def test_call_outside_stage_is_ignored(self):
+        src = PRELUDE + """
+from repro.decision import dominance_prune
+
+def interactive(ensemble):
+    return dominance_prune(ensemble)
+
+def decide(state):
+    state["out"] = 1
+
+p = DecisionPipeline()
+p.add_decision("d", decide, reads=(), writes=("out",))
+"""
+        assert only(analyze_source(src), "RC023") == []
+
+    def test_listed_in_catalogue(self):
+        assert "RC023" in {rule.code for rule in all_rules()}
+
+
 # -- parsing, suppression, extraction edge cases -----------------------------
 
 

@@ -263,6 +263,60 @@ class TestAdmissionControl:
         finally:
             server.close()
 
+    def test_priority_eviction_sheds_lowest_first(self):
+        stub = StubRouter(delay=0.2)
+        with use_registry() as registry:
+            server = DecisionServer(router=stub,
+                                    utility=DeadlineUtility(1.0),
+                                    max_queue=2, batch_window=0.0)
+            try:
+                # One request in flight, then a low- and a mid-priority
+                # request fill the bounded queue.
+                server.submit(RouteQuery("a", "b", 0.0))
+                time.sleep(0.05)
+                low = server.submit(RouteQuery("a", "b", 1.0,
+                                               priority=0))
+                mid = server.submit(RouteQuery("a", "b", 2.0,
+                                               priority=1))
+                # A high-priority arrival evicts the lowest-priority
+                # queued request instead of being dropped itself.
+                high = server.submit(RouteQuery("a", "b", 3.0,
+                                                priority=5))
+                assert low.done()
+                result = low.result()
+                assert isinstance(result, Overloaded)
+                assert result.reason == "shed_priority"
+                # An arrival that outranks nothing queued sheds itself.
+                equal = server.submit(RouteQuery("a", "b", 4.0,
+                                                 priority=1))
+                assert equal.result().reason == "queue_full"
+                assert mid.result().ok
+                assert high.result().ok
+            finally:
+                server.close()
+            counter = registry.get("serve.requests_total")
+            assert counter.value(outcome="overloaded",
+                                 reason="shed_priority") == 1
+            assert counter.value(outcome="overloaded",
+                                 reason="queue_full") == 1
+
+    def test_default_priorities_keep_fifo_shedding(self):
+        """All-default priorities behave exactly like the pre-priority
+        server: arrivals at a full queue shed themselves."""
+        stub = StubRouter(delay=0.2)
+        server = DecisionServer(router=stub,
+                                utility=DeadlineUtility(1.0),
+                                max_queue=1, batch_window=0.0)
+        try:
+            server.submit(RouteQuery("a", "b", 0.0))
+            time.sleep(0.05)
+            queued = server.submit(RouteQuery("a", "b", 1.0))
+            shed = server.submit(RouteQuery("a", "b", 2.0))
+            assert shed.result().reason == "queue_full"
+            assert queued.result().ok
+        finally:
+            server.close()
+
     def test_shedding_disabled_queues_doomed_work(self):
         stub = StubRouter(delay=0.05)
         server = DecisionServer(router=stub,

@@ -242,6 +242,80 @@ class TestRouterConcurrency:
                 info["hits"] + info["misses"]
 
 
+class TestReducedRouterConcurrency:
+    def test_concurrent_reduced_route_many_equals_serial_oracle(
+            self, world):
+        """The scenario-reduction path under the same stress pattern:
+        8 threads share one router whose candidate ensembles are
+        compressed through the lock-guarded reduction memo; every
+        result must match a fresh single-threaded reduced oracle, and
+        the memo probe counters must reconcile exactly."""
+        network, model, od_pairs, _ = world
+        utility = DeadlineUtility(12.0)
+        queries = [(origin, destination, 480.0)
+                   for origin, destination in od_pairs]
+        oracle = StochasticRouter(network, model, n_candidates=4,
+                                  reduction=2)
+        expected = oracle.route_many(queries, utility)
+        serial_info = oracle.cache_info()
+        serial_total = serial_info["hits"] + serial_info["misses"]
+
+        with use_registry() as registry:
+            shared = StochasticRouter(network, model, n_candidates=4,
+                                      reduction=2)
+
+            def work(index):
+                for _ in range(N_REPEATS):
+                    results = shared.route_many(queries, utility)
+                    for result, want in zip(results, expected):
+                        if want is None:
+                            assert result is None
+                            continue
+                        assert result[0] == want[0]
+                        np.testing.assert_array_equal(
+                            result[1].support, want[1].support)
+                        np.testing.assert_array_equal(
+                            result[1].probabilities,
+                            want[1].probabilities)
+                        assert result[2] == want[2]
+
+            hammer(N_THREADS, work)
+
+            info = shared.cache_info()
+            assert info["hits"] + info["misses"] == \
+                N_THREADS * N_REPEATS * serial_total
+            assert info["reduction_memo_size"] <= info["maxsize"]
+            counter = registry.get(
+                "decision.router_memo_lookups_total")
+            assert counter.value(outcome="hit") \
+                + counter.value(outcome="miss") == \
+                info["hits"] + info["misses"]
+
+    def test_reduced_matches_full_router_under_stress(self, world):
+        """Concurrent reduced routing never drifts from the full-
+        ensemble winner on this workload (zero decision regret)."""
+        network, model, od_pairs, _ = world
+        utility = DeadlineUtility(12.0)
+        queries = [(origin, destination, 480.0)
+                   for origin, destination in od_pairs]
+        full = StochasticRouter(network, model, n_candidates=4)
+        expected = full.route_many(queries, utility)
+        shared = StochasticRouter(network, model, n_candidates=4,
+                                  reduction=2)
+
+        def work(index):
+            for _ in range(N_REPEATS):
+                for result, want in zip(
+                        shared.route_many(queries, utility), expected):
+                    if want is None:
+                        assert result is None
+                        continue
+                    assert result[0] == want[0]
+                    assert result[2] == want[2]
+
+        hammer(N_THREADS, work)
+
+
 class TestServerConcurrency:
     def test_hammered_server_stays_equivalent(self, world):
         network, model, od_pairs, trajectories = world
