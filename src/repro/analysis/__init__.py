@@ -32,6 +32,11 @@ from .analyzer import (
     analyze_source,
     iter_python_files,
 )
+from .concurrency import (
+    ClassInfo,
+    MethodInfo,
+    extract_classes,
+)
 from .extract import (
     FunctionEffects,
     ModuleInfo,
@@ -52,8 +57,10 @@ from .findings import (
 
 __all__ = [
     "ERROR",
+    "ClassInfo",
     "Finding",
     "FunctionEffects",
+    "MethodInfo",
     "ModuleInfo",
     "PipelineDecl",
     "Rule",
@@ -63,6 +70,7 @@ __all__ = [
     "analyze_file",
     "analyze_paths",
     "analyze_source",
+    "extract_classes",
     "extract_module",
     "function_effects",
     "get_rule",

@@ -11,6 +11,7 @@ import re
 from pathlib import Path
 
 from . import rules as _rules  # noqa: F401  (registers the rule set)
+from .concurrency import extract_classes
 from .extract import extract_module
 from .findings import Finding, get_rule, registry_items
 
@@ -22,8 +23,13 @@ __all__ = [
 ]
 
 
-_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z]+[A-Z0-9]*"
-                   r"(?:\s*,\s*[A-Z]+[A-Z0-9]*)*))?",
+# Ruff-compatible suppression comments: ``# noqa`` silences the whole
+# line, ``# noqa: RC001,RC004`` or ``# noqa: RC001 RC004`` a code list
+# (comma- and/or whitespace-separated).  A code is letters then digits,
+# so a trailing justification (``# noqa: RC034 -- process-local``)
+# never parses as extra codes.
+_NOQA = re.compile(r"#\s*noqa(?:\s*:\s*(?P<codes>[A-Z]+[0-9]+"
+                   r"(?:[\s,]+[A-Z]+[0-9]+)*))?",
                    re.IGNORECASE)
 
 
@@ -37,7 +43,8 @@ def _suppressed(finding, source_lines):
     codes = match.group("codes")
     if codes is None:
         return True  # bare ``# noqa`` silences everything
-    listed = {code.strip().upper() for code in codes.split(",")}
+    listed = {code.upper() for code in re.split(r"[\s,]+", codes)
+              if code}
     return finding.code in listed
 
 
@@ -66,6 +73,9 @@ def analyze_source(source, path="<string>", *, select=None,
             continue
         if rule.scope == "module":
             findings.extend(check(module))
+        elif rule.scope == "class":
+            for cls in extract_classes(module):
+                findings.extend(check(cls, module))
         elif rule.scope == "pipeline":
             for pipeline in module.pipelines:
                 findings.extend(check(pipeline, module))

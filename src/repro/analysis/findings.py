@@ -31,6 +31,10 @@ Scopes
 ``pipeline``
     The check receives one extracted pipeline (dataflow-over-DAG
     hazard rules).
+``class``
+    The check receives one extracted class (lock inventory + method
+    access map, see :mod:`repro.analysis.concurrency`) plus the
+    module -- the concurrency rules RC030-RC034 live here.
 """
 
 from __future__ import annotations
@@ -50,7 +54,7 @@ __all__ = [
 ERROR = "error"
 WARNING = "warning"
 _SEVERITIES = (ERROR, WARNING)
-_SCOPES = ("module", "stage", "pipeline")
+_SCOPES = ("module", "stage", "pipeline", "class")
 
 
 @dataclass(frozen=True, order=True)

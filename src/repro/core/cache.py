@@ -260,6 +260,19 @@ class StageCache:
         self.hits = 0
         self.misses = 0
 
+    def __getstate__(self):
+        """Pickle without the lock; entries (plain data) ride along,
+        so a warm cache can ship to another process intact."""
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_entries"] = dict(self._entries)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     @staticmethod
     def _metrics():
         from ..observability.metrics import get_registry

@@ -144,6 +144,18 @@ class CollectingTracer(Tracer):
         self._lock = threading.Lock()
         self._forward = []
 
+    def __getstate__(self):
+        """Pickle without the lock (buffered events ride along)."""
+        with self._lock:
+            state = self.__dict__.copy()
+            state["events"] = list(self.events)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def forward_to(self, *tracers):
         """Also deliver every event to ``tracers``; returns ``self``."""
         self._forward.extend(tracers)

@@ -144,7 +144,7 @@ class _ShmArena:
 
     def __init__(self):
         self._segments = {}  # key -> (value, SharedMemory, ShmHandle)
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # noqa: RC034 -- parent-side shm bookkeeping; never pickled
         self.shared_bytes = 0
 
     def share(self, key, value):
@@ -548,7 +548,7 @@ class ProcessExecutor(Executor):
         self.on_unpicklable = on_unpicklable
         self.start_method = start_method
         self._pool = None
-        self._pool_lock = threading.Lock()
+        self._pool_lock = threading.Lock()  # noqa: RC034 -- owns the worker pool; orchestrator is process-local
 
     # -- pool lifecycle ------------------------------------------------------
 

@@ -79,6 +79,20 @@ class FaultInjector(CollectingTracer):
         self.injected = 0
         self.run_id = ""
 
+    def __getstate__(self):
+        """Pickle without either lock; pending plans ride along so a
+        scripted injector can ship to a worker process intact."""
+        state = super().__getstate__()
+        with self._plans_lock:
+            state["_plans"] = {stage: list(queue) for stage, queue
+                               in self._plans.items()}
+        state.pop("_plans_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        super().__setstate__(state)
+        self._plans_lock = threading.Lock()
+
     def on_event(self, event):
         # Capture the run's identity from the run_start event so
         # jittered delays can seed from (run_id, stage, attempt).

@@ -102,7 +102,7 @@ class _RunControl:
         self._deadline_at = (None if deadline is None
                              else self._started + float(deadline))
         self._cancelled = threading.Event()
-        self._reason_lock = threading.Lock()
+        self._reason_lock = threading.Lock()  # noqa: RC034 -- per-run cancellation state; never crosses a process
         self.reason = None
 
     def cancel(self, reason):

@@ -9,12 +9,21 @@ Examples::
 
     python -m repro.lint src examples            # human-readable text
     python -m repro.lint src --format=json       # machine-readable
+    python -m repro.lint src --format=sarif      # code-scanning SARIF
     python -m repro.lint src --select RC00       # contract rules only
+    python -m repro.lint src --select RC03       # concurrency rules
     python -m repro.lint src --ignore RC021      # drop one rule
+    python -m repro.lint src --baseline lint.baseline.json
     python -m repro.lint --list-rules            # the rule catalogue
 
 Exit status is 1 when any *error*-severity finding is reported (so CI
 can gate on it), 0 otherwise; warnings never fail the run.
+
+``--baseline FILE`` is the adoption path for new error-severity rule
+families without a flag day: the first run writes every current
+finding to FILE (and exits 0); subsequent runs suppress the recorded
+findings and fail only on *new* ones.  ``--update-baseline`` rewrites
+the file from the current findings.
 """
 
 from __future__ import annotations
@@ -24,21 +33,27 @@ import json
 import sys
 from pathlib import Path
 
-from .analysis import all_rules, analyze_paths
+from .analysis import ERROR, all_rules, analyze_paths
 
 __all__ = ["main"]
 
+#: Version pin of the SARIF 2.1.0 output (GitHub code scanning).
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
 
-def _render_text(findings, n_files):
+
+def _render_text(findings, n_files, baselined=0):
     lines = [finding.render() for finding in findings]
     errors = sum(1 for f in findings if f.is_error)
     warnings = len(findings) - errors
+    suffix = (f" ({baselined} baselined finding(s) suppressed)"
+              if baselined else "")
     lines.append(f"{errors} error(s), {warnings} warning(s) in "
-                 f"{n_files} file(s)")
+                 f"{n_files} file(s){suffix}")
     return "\n".join(lines)
 
 
-def _render_json(findings, n_files):
+def _render_json(findings, n_files, baselined=0):
     by_rule = {}
     for finding in findings:
         by_rule[finding.code] = by_rule.get(finding.code, 0) + 1
@@ -52,7 +67,107 @@ def _render_json(findings, n_files):
             "rules": dict(sorted(by_rule.items())),
         },
     }
+    if baselined:
+        report["summary"]["baselined"] = baselined
     return json.dumps(report, indent=2, sort_keys=False)
+
+
+def _sarif_level(severity):
+    return "error" if severity == ERROR else "warning"
+
+
+def _render_sarif(findings, n_files, baselined=0):
+    """SARIF 2.1.0: one run, the full rule catalogue, one result per
+    finding -- the shape GitHub code scanning ingests directly."""
+    rules = [{
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {
+            "level": _sarif_level(rule.severity)},
+    } for rule in all_rules()]
+    results = [{
+        "ruleId": finding.code,
+        "level": _sarif_level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": str(finding.path).replace("\\", "/"),
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col,
+                },
+            },
+        }],
+    } for finding in findings]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": (
+                        "https://example.invalid/docs/"
+                        "STATIC_ANALYSIS.md"),
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+# -- baseline adoption -------------------------------------------------------
+
+
+def _baseline_key(finding):
+    """Line-number-free fingerprint: survives unrelated edits above
+    the finding, breaks (and so resurfaces) when the message-bearing
+    facts change."""
+    return (finding.path, finding.code, finding.message)
+
+
+def _write_baseline(path, findings):
+    counts = {}
+    for finding in findings:
+        counts[_baseline_key(finding)] = counts.get(
+            _baseline_key(finding), 0) + 1
+    entries = [{"path": key[0], "code": key[1], "message": key[2],
+                "count": count}
+               for key, count in sorted(counts.items())]
+    document = {"version": 1, "entries": entries}
+    Path(path).write_text(json.dumps(document, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(findings)
+
+
+def _apply_baseline(path, findings):
+    """``(new_findings, n_suppressed)`` after consuming the baseline.
+
+    Each recorded (path, code, message) fingerprint absorbs up to its
+    recorded count of current findings; everything beyond that is new
+    and stays in the report.
+    """
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    budget = {}
+    for entry in document.get("entries", []):
+        key = (entry["path"], entry["code"], entry["message"])
+        budget[key] = budget.get(key, 0) + int(entry.get("count", 1))
+    fresh = []
+    suppressed = 0
+    for finding in findings:
+        key = _baseline_key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed
 
 
 def _render_rules():
@@ -74,8 +189,9 @@ def main(argv=None):
         "paths", nargs="*", default=["src", "examples"],
         help="files or directories to analyze (default: src examples)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)")
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); sarif is SARIF 2.1.0, "
+             "GitHub code-scanning compatible")
     parser.add_argument(
         "--select", action="append", default=None, metavar="CODE",
         help="only run rule codes with this prefix (repeatable)")
@@ -85,6 +201,14 @@ def main(argv=None):
     parser.add_argument(
         "--output", metavar="FILE", default=None,
         help="also write the report to FILE")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="adoption file: written with the current findings when "
+             "missing (exit 0); when present, recorded findings are "
+             "suppressed and only new ones are reported")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline FILE from the current findings")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
@@ -98,12 +222,28 @@ def main(argv=None):
     if missing:
         parser.error(f"no such path(s): {', '.join(missing)}")
 
+    if arguments.update_baseline and not arguments.baseline:
+        parser.error("--update-baseline requires --baseline FILE")
+
     findings, n_files = analyze_paths(
         arguments.paths, select=arguments.select,
         ignore=arguments.ignore)
-    renderer = (_render_json if arguments.format == "json"
-                else _render_text)
-    report = renderer(findings, n_files)
+
+    baselined = 0
+    if arguments.baseline:
+        baseline_path = Path(arguments.baseline)
+        if arguments.update_baseline or not baseline_path.exists():
+            recorded = _write_baseline(baseline_path, findings)
+            print(f"baseline written to {baseline_path}: {recorded} "
+                  "finding(s) recorded; subsequent runs fail only on "
+                  "new findings")
+            return 0
+        findings, baselined = _apply_baseline(baseline_path, findings)
+
+    renderer = {"json": _render_json,
+                "sarif": _render_sarif}.get(arguments.format,
+                                            _render_text)
+    report = renderer(findings, n_files, baselined)
     print(report)
     if arguments.output:
         Path(arguments.output).write_text(report + "\n",

@@ -61,7 +61,7 @@ class _Metric:
     def __init__(self, name, description=""):
         self.name = str(name)
         self.description = str(description)
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # noqa: RC034 -- metric handles are process-local; workers merge snapshots
         self._series = {}
 
     def labels(self):
@@ -280,7 +280,7 @@ class MetricsRegistry:
     """
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # noqa: RC034 -- process-global registry; workers ship snapshot dicts
         self._metrics = {}
 
     def _get_or_create(self, cls, name, description, **kwargs):

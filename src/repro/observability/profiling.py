@@ -98,7 +98,7 @@ class RunProfiler:
     """
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # noqa: RC034 -- per-run profiler; results exported as plain dicts
         self._profiles = {}
         self._started_tracemalloc = False
         self._active = False

@@ -109,7 +109,7 @@ class SpanTracer(CollectingTracer):
 
     def __init__(self):
         super().__init__()
-        self._span_lock = threading.RLock()
+        self._span_lock = threading.RLock()  # noqa: RC034 -- process-local tracer; spans export as plain dicts
         self._spans = []
         self._next_id = 1
         self._instants = []  # (event, thread_id)

@@ -103,7 +103,7 @@ class _RequestQueue:
     def __init__(self, maxsize):
         self.maxsize = int(maxsize)
         self._items = deque()
-        self._not_empty = threading.Condition(threading.Lock())
+        self._not_empty = threading.Condition(threading.Lock())  # noqa: RC034 -- in-process request queue; never pickled
 
     def qsize(self):
         with self._not_empty:
@@ -223,7 +223,7 @@ class DecisionServer:
 
         self._queue = _RequestQueue(self.max_queue)
         self._closed = False
-        self._state_lock = threading.Lock()
+        self._state_lock = threading.Lock()  # noqa: RC034 -- live server with worker threads; never pickled
         self._outcome_counts = {}
         self._submitted = 0
         self._batches = 0
