@@ -34,6 +34,7 @@ from .core import (
     ContractViolation,
     DecisionPipeline,
     FaultInjector,
+    IncrementalSession,
     ProcessExecutor,
     RunDeadlineExceeded,
     SerialExecutor,
@@ -63,6 +64,7 @@ __all__ = [
     "DecisionServer",
     "FaultInjector",
     "GpsPoint",
+    "IncrementalSession",
     "MetricsRegistry",
     "ProcessExecutor",
     "RunDeadlineExceeded",

@@ -7,11 +7,12 @@ from .adaptation import (
     weighted_ridge,
 )
 from .continual import ReplayContinualForecaster, evaluate_forgetting
-from .drift import KsDriftDetector, PageHinkleyDetector
+from .drift import DriftTriggeredRefit, KsDriftDetector, PageHinkleyDetector
 from .multiscale import MultiScalePathwaysForecaster
 
 __all__ = [
     "DomainAdaptedRegressor",
+    "DriftTriggeredRefit",
     "KsDriftDetector",
     "MultiScalePathwaysForecaster",
     "PageHinkleyDetector",

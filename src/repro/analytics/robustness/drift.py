@@ -10,6 +10,13 @@ trigger for the continual-learning and recalibration machinery
   kind);
 * :class:`PageHinkleyDetector` — sequential mean-shift detection with
   O(1) state, the classic streaming change-point test.
+
+:class:`DriftTriggeredRefit` turns a detector into the streaming
+re-fit gate incremental pipelines need (see ``docs/STREAMING.md``):
+feed it forecast residuals tick by tick and it invokes a re-fit
+callback — rate-limited by a cooldown — exactly when the detector
+alarms, publishing ``analytics.drift_refits_total`` so re-training
+churn is visible next to the engine metrics.
 """
 
 from __future__ import annotations
@@ -19,7 +26,8 @@ from scipy import stats
 
 from ..._validation import check_positive
 
-__all__ = ["KsDriftDetector", "PageHinkleyDetector"]
+__all__ = ["DriftTriggeredRefit", "KsDriftDetector",
+           "PageHinkleyDetector"]
 
 
 class KsDriftDetector:
@@ -97,3 +105,84 @@ class PageHinkleyDetector:
             if self.update(value):
                 alarms.append(index)
         return alarms
+
+
+class DriftTriggeredRefit:
+    """Streaming re-fit gate: alarm from a detector triggers a re-fit.
+
+    Feed forecast residuals (or any monitored scalar) with
+    :meth:`observe` / :meth:`observe_many`; when the wrapped detector
+    alarms — and at least ``cooldown`` observations have passed since
+    the last re-fit — the gate calls ``refit()`` (when given) and
+    reports the trigger.  State is O(1) and plain data, so the gate
+    can live in an incremental stage's carried delta.
+
+    Parameters
+    ----------
+    detector:
+        Any object with a ``update(value) -> bool`` method; default a
+        fresh :class:`PageHinkleyDetector`.
+    refit:
+        Optional zero-argument callable invoked on each trigger (a
+        model's re-fit closure).  Exceptions propagate — a failing
+        re-fit is a real failure, not something to swallow.
+    cooldown:
+        Minimum observations between two triggers; alarms inside the
+        cooldown window are suppressed (the detector has already
+        self-reset).  Default 0: every alarm triggers.
+    """
+
+    def __init__(self, detector=None, *, refit=None, cooldown=0):
+        if detector is None:
+            detector = PageHinkleyDetector()
+        if not callable(getattr(detector, "update", None)):
+            raise TypeError(
+                "detector must expose update(value) -> bool")
+        if refit is not None and not callable(refit):
+            raise TypeError("refit must be callable or None")
+        cooldown = int(cooldown)
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.detector = detector
+        self.refit = refit
+        self.cooldown = cooldown
+        self.observed = 0
+        self.refits = 0
+        self.suppressed = 0
+        self._last_trigger = None
+
+    @staticmethod
+    def _count_refit():
+        from ...observability.metrics import get_registry
+
+        get_registry().counter(
+            "analytics.drift_refits_total",
+            "Model re-fits triggered by drift detection").inc()
+
+    def observe(self, value):
+        """Feed one observation; returns True when a re-fit fired."""
+        self.observed += 1
+        if not self.detector.update(value):
+            return False
+        if (self._last_trigger is not None
+                and self.observed - self._last_trigger < self.cooldown):
+            self.suppressed += 1
+            return False
+        self._last_trigger = self.observed
+        self.refits += 1
+        self._count_refit()
+        if self.refit is not None:
+            self.refit()
+        return True
+
+    def observe_many(self, values):
+        """Feed a sequence; returns indices that triggered a re-fit."""
+        triggers = []
+        for index, value in enumerate(np.asarray(values, dtype=float)):
+            if self.observe(value):
+                triggers.append(index)
+        return triggers
+
+    def __repr__(self):
+        return (f"DriftTriggeredRefit(observed={self.observed}, "
+                f"refits={self.refits}, cooldown={self.cooldown})")

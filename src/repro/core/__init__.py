@@ -26,6 +26,7 @@ from .stage import (
     StageFailure,
     StageTimeout,
 )
+from .streaming import IncrementalSession, Tick
 
 __all__ = [
     "ANY",
@@ -35,6 +36,7 @@ __all__ = [
     "Executor",
     "ExecutorError",
     "FaultInjector",
+    "IncrementalSession",
     "PrintTracer",
     "ProcessExecutor",
     "RemoteStageError",
@@ -49,6 +51,7 @@ __all__ = [
     "StageRecord",
     "StageTimeout",
     "ThreadExecutor",
+    "Tick",
     "Tracer",
     "resolve_executor",
 ]

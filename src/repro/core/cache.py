@@ -310,6 +310,37 @@ class StageCache:
             "Entries currently stored in the StageCache").set(size)
         return True
 
+    def entry(self, key):
+        """Fetch an entry without touching hit/miss counters.
+
+        The bookkeeping accessor streaming sessions use to harvest a
+        tick's committed deltas — those reads are not cache *lookups*
+        in the replay sense and must not skew the hit-rate metrics
+        :meth:`get` publishes.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
+    def adopt(self, key, entry):
+        """Install an existing :class:`CacheEntry` under ``key``.
+
+        Unlike :meth:`store` this does *not* deep-copy the delta: the
+        entry is adopted by reference.  Callers own the aliasing —
+        the streaming session uses this to republish a prior tick's
+        entry (whose delta is only ever handed out through the
+        deep-copying :meth:`CacheEntry.snapshot`) under a fresh
+        replay key without paying a second copy.
+        """
+        if not isinstance(entry, CacheEntry):
+            raise TypeError(
+                f"expected CacheEntry, got {type(entry).__name__}")
+        with self._lock:
+            self._entries[key] = entry
+            size = len(self._entries)
+        self._metrics().gauge(
+            "engine.stage_cache_entries",
+            "Entries currently stored in the StageCache").set(size)
+
     def merge(self, other):
         """Fold another cache's entries into this one.
 

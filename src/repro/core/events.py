@@ -4,7 +4,9 @@ The engine narrates a run as a stream of :class:`StageEvent` objects
 — ``run_start``, ``stage_start``, ``stage_attempt``, ``stage_end``,
 ``stage_error``, ``stage_retry``, ``stage_skip``, ``stage_fallback``,
 ``stage_timeout``, ``stage_cancelled``, ``fault_injected``,
-``cache_hit``, ``run_end`` — delivered to an opt-in *tracer*: any
+``cache_hit``, ``run_end`` — plus ``tick_start`` / ``tick_end``
+bracketing each incremental tick of a streaming session (see
+:mod:`repro.core.streaming`) — delivered to an opt-in *tracer*: any
 object with an ``on_event(event)`` method (duck-typed; subclassing
 is optional).  Tracer exceptions are swallowed so a broken observer
 cannot take the pipeline down with it.
@@ -59,6 +61,8 @@ EVENT_KINDS = (
     "fault_injected",
     "cache_hit",
     "run_end",
+    "tick_start",
+    "tick_end",
 )
 
 

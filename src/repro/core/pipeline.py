@@ -49,6 +49,76 @@ from .stage import Stage
 __all__ = ["DecisionPipeline"]
 
 
+def _execute_run(title, stages, deps, state, *, cache=None,
+                 cache_keys=None, tracer=None, max_workers=None,
+                 deadline=None, copy_on_read=False, metrics=None,
+                 profile=False, executor=None, run_id=None,
+                 run_data=None):
+    """One scheduled run over prepared stages: the shared engine core.
+
+    Both :meth:`DecisionPipeline.run` and every
+    :class:`~repro.core.streaming.IncrementalSession` tick funnel
+    through here, so events, metrics, profiles and reports are
+    identical whether a DAG executes from scratch or as one tick of a
+    stream.  ``state`` is mutated in place; ``run_data`` adds extra
+    fields (e.g. the tick number) onto the ``run_start`` event.
+    Returns the finished :class:`RunReport`.
+    """
+    from ..observability.metrics import get_registry
+    from ..observability.profiling import RunProfiler
+    from .stage import RunDeadlineExceeded, StageFailure
+
+    executor = resolve_executor(executor)
+    run_id = uuid.uuid4().hex[:12] if run_id is None else str(run_id)
+    report = RunReport(title=title)
+    report.run_id = run_id
+    report.set_dag([
+        (stage.name, tuple(stages[i].name for i in sorted(deps[j])))
+        for j, stage in enumerate(stages)
+    ])
+    report.set_deadline(deadline)
+    metrics = metrics if metrics is not None else get_registry()
+    profiler = RunProfiler().start() if profile else None
+    emit(tracer, "run_start", stages=len(stages), run_id=run_id,
+         executor=executor.kind, **dict(run_data or {}))
+    scheduler = DagScheduler(max_workers=max_workers)
+    run_status = "ok"
+    try:
+        scheduler.execute(stages, deps, state, report,
+                          cache=cache, tracer=tracer,
+                          deadline=deadline,
+                          copy_on_read=copy_on_read,
+                          metrics=metrics, profiler=profiler,
+                          executor=executor, run_id=run_id,
+                          cache_keys=cache_keys)
+    except RunDeadlineExceeded:
+        run_status = "deadline_exceeded"
+        raise
+    except StageFailure:
+        run_status = "failed"
+        raise
+    except BaseException:
+        run_status = "error"
+        raise
+    finally:
+        if profiler is not None:
+            profiler.stop()
+            report.set_profiles(profiler.profiles())
+        report.finish()
+        metrics.counter(
+            "engine.runs_total",
+            "Pipeline runs by terminal status").inc(
+                status=run_status)
+        metrics.histogram(
+            "engine.run_duration_seconds",
+            "Wall-clock duration of whole pipeline runs").observe(
+                report.wall_seconds)
+        emit(tracer, "run_end",
+             wall_seconds=report.wall_seconds,
+             cache_hits=report.cache_hits)
+    return report
+
+
 class DecisionPipeline:
     """Composable realization of the paper's Figure 1.
 
@@ -68,7 +138,8 @@ class DecisionPipeline:
 
     def add_stage(self, layer, name, function, *, reads=None,
                   writes=None, on_error="fail", fallback=None,
-                  retries=0, timeout=None, backoff=0.02):
+                  retries=0, timeout=None, backoff=0.02,
+                  incremental=None):
         """Attach a stage to a layer; returns ``self`` for chaining.
 
         ``reads`` / ``writes`` declare the stage's contract (iterables
@@ -81,6 +152,8 @@ class DecisionPipeline:
         attempt's wall clock in seconds (cooperatively enforced at
         every state access), and ``backoff`` is the base of the
         jittered exponential pause between retry attempts.
+        ``incremental`` is an optional fold callable for streaming
+        sessions — see :meth:`stream` and ``docs/STREAMING.md``.
         """
         if layer not in self._LAYERS:
             raise ValueError(
@@ -88,7 +161,8 @@ class DecisionPipeline:
             )
         stage = Stage(layer, name, function, reads=reads, writes=writes,
                       on_error=on_error, fallback=fallback,
-                      retries=retries, timeout=timeout, backoff=backoff)
+                      retries=retries, timeout=timeout, backoff=backoff,
+                      incremental=incremental)
         if stage.name in self.stage_names:
             raise ValueError(
                 f"duplicate stage name {stage.name!r}; stage names "
@@ -243,63 +317,43 @@ class DecisionPipeline:
             When ``deadline`` expires first; also carries the
             partial ``report`` and ``state``.
         """
-        from ..observability.metrics import get_registry
-        from ..observability.profiling import RunProfiler
-        from .stage import RunDeadlineExceeded, StageFailure
-
         if deadline is not None and float(deadline) <= 0:
             raise ValueError("deadline must be positive or None")
         stages = self._ordered_stages()
         if not stages:
             raise RuntimeError("pipeline has no stages")
-        executor = resolve_executor(executor)
-        run_id = (uuid.uuid4().hex[:12] if run_id is None
-                  else str(run_id))
         state = dict(initial_state or {})
         deps = _dag.resolve_dependencies(stages)
-        report = RunReport(title=self.title)
-        report.run_id = run_id
-        report.set_dag([
-            (stage.name, tuple(stages[i].name for i in sorted(deps[j])))
-            for j, stage in enumerate(stages)
-        ])
-        report.set_deadline(deadline)
-        metrics = metrics if metrics is not None else get_registry()
-        profiler = RunProfiler().start() if profile else None
-        emit(tracer, "run_start", stages=len(stages), run_id=run_id,
-             executor=executor.kind)
-        scheduler = DagScheduler(max_workers=max_workers)
-        run_status = "ok"
-        try:
-            scheduler.execute(stages, deps, state, report,
+        report = _execute_run(self.title, stages, deps, state,
                               cache=cache, tracer=tracer,
+                              max_workers=max_workers,
                               deadline=deadline,
                               copy_on_read=copy_on_read,
-                              metrics=metrics, profiler=profiler,
+                              metrics=metrics, profile=profile,
                               executor=executor, run_id=run_id)
-        except RunDeadlineExceeded:
-            run_status = "deadline_exceeded"
-            raise
-        except StageFailure:
-            run_status = "failed"
-            raise
-        except BaseException:
-            run_status = "error"
-            raise
-        finally:
-            if profiler is not None:
-                profiler.stop()
-                report.set_profiles(profiler.profiles())
-            report.finish()
-            metrics.counter(
-                "engine.runs_total",
-                "Pipeline runs by terminal status").inc(
-                    status=run_status)
-            metrics.histogram(
-                "engine.run_duration_seconds",
-                "Wall-clock duration of whole pipeline runs").observe(
-                    report.wall_seconds)
-            emit(tracer, "run_end",
-                 wall_seconds=report.wall_seconds,
-                 cache_hits=report.cache_hits)
         return state, report
+
+    def stream(self, initial_state=None, *, tracer=None,
+               max_workers=None, copy_on_read=False, metrics=None,
+               executor=None):
+        """Open an :class:`~repro.core.streaming.IncrementalSession`.
+
+        The session carries state and per-stage committed deltas
+        across *ticks*: each ``session.tick(changed=..., deleted=...)``
+        applies the mutations, computes the dirty downstream cone
+        from the stages' declared contracts, replays every clean
+        stage from its carried delta (deep-copy, tombstones included)
+        and re-executes only the dirty ones.  Keyword arguments have
+        :meth:`run` semantics and apply to every tick; per-tick
+        ``deadline=`` / ``run_id=`` are passed to ``tick`` itself.
+        See ``docs/STREAMING.md``.
+        """
+        from .streaming import IncrementalSession
+
+        stages = self._ordered_stages()
+        if not stages:
+            raise RuntimeError("pipeline has no stages")
+        return IncrementalSession(
+            self, initial_state, tracer=tracer,
+            max_workers=max_workers, copy_on_read=copy_on_read,
+            metrics=metrics, executor=executor)

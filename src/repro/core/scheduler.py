@@ -141,19 +141,29 @@ class DagScheduler:
     def execute(self, stages, deps, state, report, *, cache=None,
                 tracer=None, deadline=None, copy_on_read=False,
                 metrics=None, profiler=None, executor=None,
-                run_id=None):
+                run_id=None, cache_keys=None):
         """Run all stages; mutates ``state`` and ``report`` in place.
 
         ``executor`` selects the backend (an
         :class:`~repro.core.executors.Executor`, a name, or ``None``
         for the environment default); ``run_id`` seeds deterministic
-        per-attempt jitter.
+        per-attempt jitter.  ``cache_keys`` (one key or ``None`` per
+        stage) overrides content-keying entirely — streaming sessions
+        pass precomputed replay/execute keys so no fingerprinting of
+        the initial state ever happens on the tick path.
         """
         executor = _executors.resolve_executor(executor)
         lock = threading.RLock()
         control = _RunControl(deadline)
-        keys = (_cache.stage_keys(stages, deps, state)
-                if cache is not None else [None] * len(stages))
+        if cache_keys is not None:
+            keys = list(cache_keys)
+            if len(keys) != len(stages):
+                raise ValueError(
+                    f"cache_keys has {len(keys)} entries for "
+                    f"{len(stages)} stages")
+        else:
+            keys = (_cache.stage_keys(stages, deps, state)
+                    if cache is not None else [None] * len(stages))
         session = executor.begin_run(stages,
                                      max_workers=self.max_workers,
                                      metrics=metrics)

@@ -186,15 +186,25 @@ class Stage:
         Base delay in seconds for exponential backoff between retry
         attempts (``delay = backoff * 2**(attempt-1)``, full jitter,
         capped at 2 seconds).  ``0`` disables backoff.
+    incremental:
+        Optional *fold* callable ``fold(view, tick)`` for streaming
+        sessions (see :mod:`repro.core.streaming`).  On a tick where
+        the stage is dirty but has a previous committed result, the
+        session seeds the view with that carried delta and calls the
+        fold instead of ``function``, so windowed operators update
+        carried state instead of recomputing from scratch.  The fold
+        must produce the same committed delta as ``function`` would
+        on the full input — the differential harness checks exactly
+        that.  ``None`` (default) always recomputes.
     """
 
     __slots__ = ("layer", "name", "function", "reads", "writes",
                  "on_error", "fallback", "retries", "timeout",
-                 "backoff")
+                 "backoff", "incremental")
 
     def __init__(self, layer, name, function, *, reads=None, writes=None,
                  on_error="fail", fallback=None, retries=0,
-                 timeout=None, backoff=0.02):
+                 timeout=None, backoff=0.02, incremental=None):
         if not callable(function):
             raise TypeError("function must be callable")
         if on_error not in _POLICIES:
@@ -219,6 +229,8 @@ class Stage:
         backoff = float(backoff)
         if backoff < 0:
             raise ValueError("backoff must be >= 0")
+        if incremental is not None and not callable(incremental):
+            raise TypeError("incremental must be callable or None")
         self.layer = str(layer)
         self.name = str(name)
         self.function = function
@@ -229,6 +241,7 @@ class Stage:
         self.retries = retries
         self.timeout = timeout
         self.backoff = backoff
+        self.incremental = incremental
 
     @property
     def declared(self):
@@ -255,6 +268,7 @@ class Stage:
             "has_fallback": self.fallback is not None,
             "retries": self.retries,
             "timeout": self.timeout,
+            "incremental": self.incremental is not None,
         }
 
     def replace_name_suffix(self):  # pragma: no cover - debug aid

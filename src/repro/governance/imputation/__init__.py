@@ -4,6 +4,7 @@ from .spatial import GcnCompleter, LabelPropagationCompleter, line_graph_adjacen
 from .spatiotemporal import ODMatrixCompleter, complete_field
 from .temporal import (
     KalmanImputer,
+    StreamingImputer,
     backcast,
     impute_linear,
     impute_locf,
@@ -15,6 +16,7 @@ __all__ = [
     "KalmanImputer",
     "LabelPropagationCompleter",
     "ODMatrixCompleter",
+    "StreamingImputer",
     "complete_field",
     "backcast",
     "impute_linear",

@@ -17,6 +17,11 @@ increasing sophistication — all sharing the same signature
 
 :func:`backcast` reconstructs values *before* the observed window, the
 "postdiction" task of [13].
+
+:class:`StreamingImputer` is the *online* variant for incremental
+pipelines (see ``docs/STREAMING.md``): it carries O(C) recursive
+state across arriving chunks, so a windowed governance stage can
+impute each tick's observations without re-reading history.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ __all__ = [
     "impute_linear",
     "impute_seasonal",
     "KalmanImputer",
+    "StreamingImputer",
     "backcast",
 ]
 
@@ -200,6 +206,106 @@ class KalmanImputer:
             missing = ~mask[:, column]
             filled[missing, column] = smoothed[missing]
         return series.with_values(filled)
+
+
+class StreamingImputer:
+    """Recursive imputation over arriving chunks, O(C) carried state.
+
+    The online counterpart of the batch imputers above for streaming
+    pipelines: feed observation chunks in arrival order with
+    :meth:`push` and each call returns the chunk completed, using
+    only state carried from earlier chunks — no history re-read, no
+    lookahead.
+
+    Parameters
+    ----------
+    method:
+        ``"locf"`` (default) carries the last observed value of each
+        channel forward across chunk boundaries.  Once a channel has
+        been observed at least once, the chunked output is *exactly*
+        the rows batch :func:`impute_locf` produces on the
+        concatenation of all chunks — the equivalence the streaming
+        test suite pins.  Rows before a channel's first observation
+        are filled with 0.0 (an online method cannot carry a future
+        first observation backward the way the batch code does; use
+        :func:`backcast` or a batch pass for postdiction).
+        ``"ewma"`` fills gaps with an exponentially weighted moving
+        average of the observed values, a smoother recursive
+        estimate for noisy feeds.
+    alpha:
+        EWMA smoothing factor in (0, 1]; ignored for ``"locf"``.
+    """
+
+    def __init__(self, method="locf", *, alpha=0.3):
+        if method not in ("locf", "ewma"):
+            raise ValueError(
+                f"method must be 'locf' or 'ewma', got {method!r}")
+        alpha = float(alpha)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.method = method
+        self.alpha = alpha
+        self._carry = None  # (C,) last carried estimate per channel
+        self._seen = None   # (C,) bool: channel observed at least once
+        self.rows_seen = 0
+
+    def reset(self):
+        """Forget all carried state (a fresh stream)."""
+        self._carry = None
+        self._seen = None
+        self.rows_seen = 0
+
+    @property
+    def carry(self):
+        """The carried per-channel estimate (copy), or ``None``."""
+        return None if self._carry is None else self._carry.copy()
+
+    def _ensure_state(self, n_channels):
+        if self._carry is None:
+            self._carry = np.zeros(n_channels)
+            self._seen = np.zeros(n_channels, dtype=bool)
+        elif len(self._carry) != n_channels:
+            raise ValueError(
+                f"chunk has {n_channels} channels, stream carried "
+                f"{len(self._carry)}")
+
+    def push(self, chunk):
+        """Complete one chunk; returns the same type it was given.
+
+        ``chunk`` is a :class:`~repro.datatypes.TimeSeries` (missing
+        entries per its mask) or an array-like of shape ``(M,)`` or
+        ``(M, C)`` with ``nan`` marking missing entries.
+        """
+        if isinstance(chunk, TimeSeries):
+            filled = self._fill(chunk.values, chunk.mask)
+            return chunk.with_values(filled)
+        values = np.asarray(chunk, dtype=float)
+        squeeze = values.ndim == 1
+        if squeeze:
+            values = values[:, None]
+        filled = self._fill(values.copy(), ~np.isnan(values))
+        return filled[:, 0] if squeeze else filled
+
+    def _fill(self, values, mask):
+        n_rows, n_channels = values.shape
+        self._ensure_state(n_channels)
+        for column in range(n_channels):
+            carry = self._carry[column]
+            seen = self._seen[column]
+            for row in range(n_rows):
+                if mask[row, column]:
+                    observed = values[row, column]
+                    if self.method == "ewma" and seen:
+                        carry += self.alpha * (observed - carry)
+                    else:
+                        carry = observed
+                    seen = True
+                else:
+                    values[row, column] = carry if seen else 0.0
+            self._carry[column] = carry
+            self._seen[column] = seen
+        self.rows_seen += n_rows
+        return values
 
 
 def backcast(series, n_steps, *, period=None):

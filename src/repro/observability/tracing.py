@@ -4,6 +4,8 @@ The engine narrates a run as flat :class:`~repro.core.events.StageEvent`
 objects; :class:`SpanTracer` folds that stream back into a *span tree*
 — intervals with a start, an end, a status and a parent:
 
+* one ``tick`` span per ``tick_start``/``tick_end`` pair of a
+  streaming session, parenting the tick's run span,
 * one ``run`` span per ``run_start``/``run_end`` pair,
 * one ``stage`` span per stage (including zero-length spans for
   stages cancelled before they started and for cache replays),
@@ -114,6 +116,7 @@ class SpanTracer(CollectingTracer):
         self._next_id = 1
         self._instants = []  # (event, thread_id)
         self._run_span = None
+        self._tick_span = None
         self._stage_spans = {}
         self._attempt_spans = {}
         self._pending_status = {}
@@ -154,11 +157,23 @@ class SpanTracer(CollectingTracer):
 
     def _fold(self, event):
         kind, stage = event.kind, event.stage
-        if kind == "run_start":
+        if kind == "tick_start":
+            name = f"tick-{event.data.get('tick', '?')}"
+            self._tick_span = self._new_span(name, "tick", event, None,
+                                             **event.data)
+        elif kind == "tick_end":
+            span, self._tick_span = self._tick_span, None
+            if span is not None:
+                span.close(event.data.get("status", "ok"),
+                           event.monotonic,
+                           **{k: v for k, v in event.data.items()
+                              if k != "status"})
+        elif kind == "run_start":
             self._stage_spans.clear()
             self._attempt_spans.clear()
             self._pending_status.clear()
-            self._run_span = self._new_span("run", "run", event, None,
+            self._run_span = self._new_span("run", "run", event,
+                                            self._tick_span,
                                             **event.data)
         elif kind == "stage_start":
             self._stage_spans[stage] = self._new_span(

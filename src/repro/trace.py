@@ -15,7 +15,9 @@ the script path; everything after the script (optionally separated
 by ``--``) is passed through to the script untouched.
 
 How it works: for the duration of the target script,
-``DecisionPipeline.run`` is wrapped so that
+``DecisionPipeline.run`` — and ``DecisionPipeline.stream`` plus each
+session's ``tick``, so incremental streaming sessions show up as
+``tick`` spans wrapping their runs — is wrapped so that
 
 * a shared :class:`~repro.observability.SpanTracer` observes every
   run (composed with the script's own tracer via
@@ -37,6 +39,7 @@ import sys
 
 from .core.events import CollectingTracer
 from .core.pipeline import DecisionPipeline
+from .core.streaming import IncrementalSession
 from .observability import MetricsRegistry, SpanTracer, TeeTracer
 from .observability.metrics import use_registry
 
@@ -69,7 +72,23 @@ class TraceCapture:
         self.registry = MetricsRegistry()
         self.reports = []
         self._original_run = None
+        self._original_stream = None
+        self._original_tick = None
         self._registry_context = None
+
+    def _compose_tracer(self, kwargs):
+        """Route the call's tracer (if any) through the span tracer."""
+        tracer = kwargs.get("tracer")
+        if tracer is None:
+            kwargs["tracer"] = self.spans
+        elif isinstance(tracer, CollectingTracer):
+            # forward_to() keeps injector-generated events
+            # (fault_injected) visible to the span tracer too.
+            if all(t is not self.spans for t in tracer._forward):
+                tracer.forward_to(self.spans)
+        else:
+            kwargs["tracer"] = TeeTracer(tracer, self.spans)
+        return kwargs
 
     # -- context manager -----------------------------------------------------
 
@@ -77,16 +96,7 @@ class TraceCapture:
         capture = self
 
         def traced_run(pipeline, *args, **kwargs):
-            tracer = kwargs.get("tracer")
-            if tracer is None:
-                kwargs["tracer"] = capture.spans
-            elif isinstance(tracer, CollectingTracer):
-                # forward_to() keeps injector-generated events
-                # (fault_injected) visible to the span tracer too.
-                if all(t is not capture.spans for t in tracer._forward):
-                    tracer.forward_to(capture.spans)
-            else:
-                kwargs["tracer"] = TeeTracer(tracer, capture.spans)
+            capture._compose_tracer(kwargs)
             if capture.profile:
                 kwargs.setdefault("profile", True)
             state, report = capture._original_run(
@@ -94,14 +104,30 @@ class TraceCapture:
             capture.reports.append(report)
             return state, report
 
+        def traced_stream(pipeline, *args, **kwargs):
+            capture._compose_tracer(kwargs)
+            return capture._original_stream(pipeline, *args, **kwargs)
+
+        def traced_tick(session, *args, **kwargs):
+            state, report = capture._original_tick(
+                session, *args, **kwargs)
+            capture.reports.append(report)
+            return state, report
+
         self._original_run = DecisionPipeline.run
+        self._original_stream = DecisionPipeline.stream
+        self._original_tick = IncrementalSession.tick
         DecisionPipeline.run = traced_run
+        DecisionPipeline.stream = traced_stream
+        IncrementalSession.tick = traced_tick
         self._registry_context = use_registry(self.registry)
         self._registry_context.__enter__()
         return self
 
     def __exit__(self, exc_type, exc, tb):
         DecisionPipeline.run = self._original_run
+        DecisionPipeline.stream = self._original_stream
+        IncrementalSession.tick = self._original_tick
         self._registry_context.__exit__(exc_type, exc, tb)
         return False
 
@@ -129,10 +155,27 @@ def _demo_hold(s):
     return "held position"
 
 
+def _demo_window(s):
+    s["window_sum"] = float(sum(s["feed"]))
+    return "window"
+
+
+def _demo_window_fold(s, tick):
+    s["window_sum"] = s["window_sum"] + float(sum(s["feed"]))
+    return "window (fold)"
+
+
+def _demo_threshold(s):
+    s["alert"] = s["window_sum"] > 10.0
+    return "threshold"
+
+
 def _run_demo():
     """A small self-contained pipeline with a scripted fault, so the
-    demo trace shows a retry, a skip and a fallback.  Stage functions
-    are module-level (not lambdas) so the demo also runs under
+    demo trace shows a retry, a skip and a fallback — then a short
+    streaming session, so it also shows tick spans with replayed
+    (saved) stages and an incremental fold.  Stage functions are
+    module-level (not lambdas) so the demo also runs under
     ``REPRO_EXECUTOR=process``."""
     from .core.faults import FaultInjector
 
@@ -154,6 +197,23 @@ def _run_demo():
         reads=("clean",), writes=("action",), on_error="fallback",
         fallback=_demo_hold)
     _, report = pipeline.run(tracer=faults, max_workers=1)
+    print(report.render())
+
+    stream = DecisionPipeline("repro.trace demo (stream)")
+    stream.add_data(
+        "collect", _demo_collect, reads=(), writes=("raw",))
+    stream.add_governance(
+        "repair", _demo_repair, reads=("raw",), writes=("clean",))
+    stream.add_analytics(
+        "window", _demo_window, reads=("feed",),
+        writes=("window_sum",), incremental=_demo_window_fold)
+    stream.add_decision(
+        "threshold", _demo_threshold, reads=("window_sum",),
+        writes=("alert",))
+    session = stream.stream({"feed": [1.0, 2.0]}, max_workers=1)
+    session.tick()
+    for feed in ([3.0, 4.0], [5.0]):
+        _, report = session.tick(changed={"feed": feed})
     print(report.render())
 
 

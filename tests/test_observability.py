@@ -146,6 +146,26 @@ class TestMetricsRegistry:
         assert min(rng_values) <= quantiles[0]
         assert quantiles[-1] <= max(rng_values)
 
+    def test_histogram_quantile_skips_empty_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "q", "q", buckets=(1.0, 2.0, 4.0, 8.0))
+        # Samples only in the first and last finite buckets: the rank
+        # walk must hop over the two empty middle buckets.
+        histogram.observe(0.5)
+        histogram.observe(6.0)
+        assert histogram.quantile(0.25) <= 1.0
+        assert 4.0 <= histogram.quantile(0.99) <= 6.0
+
+    def test_histogram_quantile_first_bucket_clamps_to_min(self):
+        histogram = MetricsRegistry().histogram(
+            "q", "q", buckets=(10.0, 20.0))
+        # Both samples sit high inside the wide first bucket; the
+        # tracked min lifts the interpolation floor off 0.0.
+        histogram.observe(9.0)
+        histogram.observe(9.5)
+        assert histogram.quantile(0.01) >= 9.0
+        assert histogram.quantile(0.99) <= 9.5
+
     def test_default_buckets_are_increasing(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
 
@@ -256,6 +276,33 @@ def canonical_run():
     return state, faults, spans
 
 
+def canonical_stream():
+    """The canonical streaming session behind the golden fixture.
+
+    Two ticks over a three-stage DAG: the first full (nothing to
+    replay yet), the second mutating one input so one branch replays
+    from its delta while the dirty cone re-executes — serialised with
+    ``max_workers=1`` so the event order is deterministic.
+    """
+    spans = SpanTracer()
+    pipeline = DecisionPipeline("golden-stream")
+    pipeline.add_data(
+        "feed", lambda s: s.update(x=s["a"] * 2) or "ok",
+        reads=("a",), writes=("x",))
+    pipeline.add_governance(
+        "calm", lambda s: s.update(c=1) or "ok",
+        reads=("b",), writes=("c",))
+    pipeline.add_decision(
+        "decide", lambda s: s.update(d=s["x"] + s["c"]) or "ok",
+        reads=("x", "c"), writes=("d",))
+    with use_registry():
+        session = pipeline.stream({"a": 1, "b": 2}, tracer=spans,
+                                  max_workers=1)
+        session.tick()
+        state, _ = session.tick(changed={"a": 3})
+    return state, spans
+
+
 def _span_summary(tracer):
     """The schema-stable projection of the span tree the fixture pins."""
     by_id = {span.span_id: span for span in tracer.spans()}
@@ -276,11 +323,14 @@ def _span_summary(tracer):
 def build_golden():
     """The full fixture payload for the canonical run."""
     _, faults, spans = canonical_run()
+    _, stream_spans = canonical_stream()
     return {
         "event_kinds": list(EVENT_KINDS),
         "event_sequence": faults.kinds(),
         "spans": _span_summary(spans),
         "span_fields": sorted(spans.spans()[0].as_dict()),
+        "stream_events": stream_spans.kinds(),
+        "stream_spans": _span_summary(stream_spans),
     }
 
 
@@ -305,6 +355,23 @@ class TestGoldenTrace:
 
     def test_span_dict_schema_is_pinned(self, golden, actual):
         assert actual["span_fields"] == golden["span_fields"]
+
+    def test_stream_event_sequence_matches_fixture(self, golden,
+                                                   actual):
+        assert actual["stream_events"] == golden["stream_events"]
+
+    def test_stream_span_tree_matches_fixture(self, golden, actual):
+        assert actual["stream_spans"] == golden["stream_spans"]
+
+    def test_stream_state_reflects_the_replayed_branch(self):
+        state, spans = canonical_stream()
+        assert state["d"] == 7  # x = 3 * 2 re-executed, c = 1 replayed
+        tick_spans = spans.spans(kind="tick")
+        assert [span.name for span in tick_spans] == ["tick-0",
+                                                      "tick-1"]
+        run_parents = {span.parent_id
+                       for span in spans.spans(kind="run")}
+        assert run_parents == {span.span_id for span in tick_spans}
 
     def test_canonical_run_is_deterministic(self):
         assert build_golden() == build_golden()

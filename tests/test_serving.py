@@ -332,6 +332,27 @@ class TestAdmissionControl:
         finally:
             server.close()
 
+    def test_constructor_validation(self):
+        stub = StubRouter()
+        with pytest.raises(ValueError, match="at least one"):
+            DecisionServer()
+        with pytest.raises(ValueError, match="max_queue"):
+            DecisionServer(router=stub, max_queue=0)
+        with pytest.raises(ValueError, match="batch_window"):
+            DecisionServer(router=stub, batch_window=-0.1)
+        with pytest.raises(ValueError, match="max_batch"):
+            DecisionServer(router=stub, max_batch=0)
+
+    def test_submit_validates_the_deadline(self):
+        server = DecisionServer(router=StubRouter(),
+                                utility=DeadlineUtility(1.0),
+                                batch_window=0.0)
+        try:
+            with pytest.raises(ValueError, match="deadline"):
+                server.submit(RouteQuery("a", "b", 0.0), deadline=0)
+        finally:
+            server.close()
+
 
 class TestDeadlines:
     def test_expired_in_queue_resolves_without_service(self):
